@@ -1,0 +1,413 @@
+// Package mouse's benchmark harness: one testing.B benchmark per table
+// and figure of the paper's evaluation (run with
+// go test -bench=. -benchmem), plus microbenchmarks of the simulator's
+// hot paths. Each table/figure benchmark reports the paper-relevant
+// headline quantity as a custom metric so `-bench` output doubles as a
+// results table; the full formatted tables come from cmd/mousebench.
+package mouse_test
+
+import (
+	"io"
+	"testing"
+
+	"mouse/internal/array"
+	"mouse/internal/bench"
+	"mouse/internal/bnn"
+	"mouse/internal/compile"
+	"mouse/internal/controller"
+	"mouse/internal/dataset"
+	"mouse/internal/energy"
+	"mouse/internal/isa"
+	"mouse/internal/mtj"
+	"mouse/internal/power"
+	"mouse/internal/sim"
+	"mouse/internal/svm"
+	"mouse/internal/workload"
+)
+
+// --- Table I: interrupted-gate safety -------------------------------------
+
+func BenchmarkTableI(b *testing.B) {
+	cfg := mtj.ModernSTT()
+	for i := 0; i < b.N; i++ {
+		rows := bench.ComputeTableI(cfg)
+		for _, r := range rows {
+			if r.Output != r.Correct {
+				b.Fatalf("unsafe interruption case: %+v", r)
+			}
+		}
+	}
+}
+
+// --- Table III: area model -------------------------------------------------
+
+func BenchmarkTableIII(b *testing.B) {
+	var area float64
+	for i := 0; i < b.N; i++ {
+		rows := bench.ComputeTableIII()
+		area = rows[0].ModernSTT
+	}
+	b.ReportMetric(area, "mm2-mnist-modern")
+}
+
+// --- Table IV: continuous-power comparison ---------------------------------
+
+func BenchmarkTableIV(b *testing.B) {
+	var rows []bench.TableIVRow
+	for i := 0; i < b.N; i++ {
+		rows = bench.ComputeTableIV()
+	}
+	for _, r := range rows {
+		if r.System == "MOUSE SVM (Modern STT)" && r.Benchmark == "SVM MNIST (Bin)" {
+			b.ReportMetric(r.LatencyUS, "µs-mnist-bin")
+			b.ReportMetric(r.EnergyUJ, "µJ-mnist-bin")
+		}
+	}
+}
+
+// Per-benchmark continuous runs (the six MOUSE rows of Table IV).
+func BenchmarkTableIVRow(b *testing.B) {
+	r := sim.NewRunner(energy.NewModel(mtj.ModernSTT()))
+	for _, s := range workload.Benchmarks() {
+		b.Run(s.Name, func(b *testing.B) {
+			var res sim.Result
+			for i := 0; i < b.N; i++ {
+				res = r.RunContinuous(s.Stream())
+			}
+			b.ReportMetric(res.OnLatency*1e6, "µs-latency")
+			b.ReportMetric(res.TotalEnergy()*1e6, "µJ-energy")
+		})
+	}
+}
+
+// --- Fig. 9: latency vs power source ---------------------------------------
+
+func benchmarkFig9(b *testing.B, cfg *mtj.Config) {
+	powers := []float64{60e-6, 500e-6, 5e-3}
+	var points []bench.Fig9Point
+	for i := 0; i < b.N; i++ {
+		var err error
+		points, err = bench.ComputeFig9(cfg, powers)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, p := range points {
+		if p.System == "SVM MNIST (Bin)" && p.Watts == 60e-6 {
+			b.ReportMetric(p.LatencySec, "s-mnistbin-60µW")
+		}
+	}
+}
+
+func BenchmarkFig9ModernSTT(b *testing.B)    { benchmarkFig9(b, mtj.ModernSTT()) }
+func BenchmarkFig9ProjectedSTT(b *testing.B) { benchmarkFig9(b, mtj.ProjectedSTT()) }
+func BenchmarkFig9SHE(b *testing.B)          { benchmarkFig9(b, mtj.ProjectedSHE()) }
+
+// --- Figs. 10–12: breakdowns at 60 µW --------------------------------------
+
+func benchmarkBreakdown(b *testing.B, cfg *mtj.Config) {
+	var rows []bench.BreakdownRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = bench.ComputeBreakdown(cfg, 60e-6)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	backup, dead, restore := bench.AverageShares(rows)
+	b.ReportMetric(100*backup, "%-backup")
+	b.ReportMetric(100*dead, "%-dead")
+	b.ReportMetric(100*restore, "%-restore")
+}
+
+func BenchmarkFig10BreakdownModernSTT(b *testing.B)    { benchmarkBreakdown(b, mtj.ModernSTT()) }
+func BenchmarkFig11BreakdownProjectedSTT(b *testing.B) { benchmarkBreakdown(b, mtj.ProjectedSTT()) }
+func BenchmarkFig12BreakdownSHE(b *testing.B)          { benchmarkBreakdown(b, mtj.ProjectedSHE()) }
+
+// --- Fig. 9 crossover (Section IX) -----------------------------------------
+
+func BenchmarkCrossover(b *testing.B) {
+	var p float64
+	for i := 0; i < b.N; i++ {
+		var err error
+		p, err = bench.CrossoverPowerW(mtj.ModernSTT())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(p*1e3, "mW-crossover")
+}
+
+// --- ablations: design choices DESIGN.md calls out --------------------------
+
+// BenchmarkAblationParallelism sweeps the column parallelism budget,
+// the latency/power trade-off of Section IV-C.
+func BenchmarkAblationParallelism(b *testing.B) {
+	spec, err := workload.ByName("SVM MNIST (Bin)")
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := sim.NewRunner(energy.NewModel(mtj.ModernSTT()))
+	for _, budget := range []int{1024, 4096, 8192, 32768} {
+		s := spec
+		s.ParallelBudget = budget
+		b.Run(fmtInt(budget), func(b *testing.B) {
+			var res sim.Result
+			for i := 0; i < b.N; i++ {
+				res = r.RunContinuous(s.Stream())
+			}
+			b.ReportMetric(res.OnLatency*1e6, "µs-latency")
+			b.ReportMetric(res.TotalEnergy()*1e6, "µJ-energy")
+		})
+	}
+}
+
+// BenchmarkAblationCapacitor sweeps the energy-buffer size (the
+// Capybara-style tuning knob of Section IX).
+func BenchmarkAblationCapacitor(b *testing.B) {
+	spec, err := workload.ByName("SVM ADULT")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := mtj.ModernSTT()
+	r := sim.NewRunner(energy.NewModel(cfg))
+	for _, c := range []float64{10e-6, 100e-6, 1e-3} {
+		b.Run(fmtCap(c), func(b *testing.B) {
+			var res sim.Result
+			for i := 0; i < b.N; i++ {
+				h := power.NewHarvester(power.Constant{W: 60e-6}, c, cfg.CapVMin, cfg.CapVMax)
+				var err error
+				res, err = r.Run(spec.Stream(), h)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(res.TotalLatency(), "s-latency")
+			b.ReportMetric(float64(res.Restarts), "restarts")
+		})
+	}
+}
+
+// --- microbenchmarks ---------------------------------------------------------
+
+func BenchmarkGateEnergyModel(b *testing.B) {
+	cfg := mtj.ModernSTT()
+	var e float64
+	for i := 0; i < b.N; i++ {
+		e += mtj.GateEnergy(mtj.NAND2, cfg)
+	}
+	_ = e
+}
+
+func BenchmarkTileLogic1024Columns(b *testing.B) {
+	tile := array.NewTile(mtj.ModernSTT(), 16, 1024)
+	cols := make([]uint16, 1024)
+	for i := range cols {
+		cols[i] = uint16(i)
+	}
+	tile.SetActive(cols)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tile.ExecLogic(mtj.NAND2, []int{0, 2}, 1, array.FullPulse); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkInstructionEncodeDecode(b *testing.B) {
+	in := isa.Logic(mtj.MAJ3, []int{0, 2, 4}, 1)
+	for i := 0; i < b.N; i++ {
+		w, err := isa.Encode(in)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := isa.Decode(w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkControllerStep(b *testing.B) {
+	prog := isa.Program{
+		isa.ActRange(true, 0, 0, 8, 1),
+		isa.Preset(1, mtj.P),
+		isa.Logic(mtj.NAND2, []int{0, 2}, 1),
+	}
+	m := array.NewMachine(mtj.ModernSTT(), 1, 16, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := controller.New(controller.ProgramStore(prog), m)
+		if err := c.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTraceSimThroughput(b *testing.B) {
+	r := sim.NewRunner(energy.NewModel(mtj.ModernSTT()))
+	ops := make([]energy.Op, 10000)
+	for i := range ops {
+		ops[i] = energy.Op{Kind: isa.KindLogic, Gate: mtj.NAND2, ActivePairs: 1024}
+	}
+	ops[0] = energy.Op{Kind: isa.KindAct, ActCols: 1024}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := r.RunContinuous(&sim.SliceStream{Ops: ops})
+		if res.Instructions != 10000 {
+			b.Fatal("wrong op count")
+		}
+	}
+}
+
+func BenchmarkSVMCompile(b *testing.B) {
+	ds := dataset.Adult(77, 24, 10)
+	m, err := svm.Train(ds, svm.DefaultTrainConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	im, err := m.Quantize(10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := svm.CompileParallelMapping(im, 1024, 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBNNFunctionalInference(b *testing.B) {
+	// A 64-feature binarized set sized to the 1024-row budget.
+	const feats = 64
+	small := &dataset.Set{Name: "t", NumFeatures: feats, NumClasses: 10}
+	for i := 0; i < 40; i++ {
+		x := make([]int, feats)
+		for j := range x {
+			x[j] = (i*j + j%3) & 1
+		}
+		small.Train = append(small.Train, dataset.Sample{X: x, Label: i % 10})
+	}
+	small.Test = small.Train[:4]
+	cfg := bnn.Config{Name: "t", In: feats, Hidden: []int{16}, Out: 10, InputBits: 1}
+	net, err := bnn.Train(small, cfg, bnn.TrainConfig{Epochs: 2, LR: 0.002, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	mp, err := bnn.CompileMapping(net, 1024, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := array.NewMachine(mtj.ModernSTT(), 1, 1024, 1)
+	for i, row := range mp.InputRows {
+		m.Tiles[0].SetBit(row, 0, small.Test[0].X[i])
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := controller.New(controller.ProgramStore(mp.Prog), m)
+		if err := c.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCompileMultiplier(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bl := compile.NewBuilder(1024)
+		bl.ActivateBroadcast([]uint16{0})
+		x := bl.AllocWord(8, 0)
+		y := bl.AllocWord(8, 0)
+		bl.MulWords(x, y)
+		if _, err := bl.Program(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSONICModel(b *testing.B) {
+	_ = io.Discard
+	for i := 0; i < b.N; i++ {
+		pts, err := bench.ComputeFig9(mtj.ModernSTT(), []float64{5e-3})
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = pts
+	}
+}
+
+func fmtInt(v int) string {
+	switch {
+	case v >= 1024 && v%1024 == 0:
+		return fmtSmall(v/1024) + "k-cols"
+	default:
+		return fmtSmall(v) + "-cols"
+	}
+}
+
+func fmtSmall(v int) string {
+	digits := ""
+	if v == 0 {
+		return "0"
+	}
+	for v > 0 {
+		digits = string(rune('0'+v%10)) + digits
+		v /= 10
+	}
+	return digits
+}
+
+func fmtCap(c float64) string {
+	return fmtSmall(int(c*1e6)) + "µF"
+}
+
+// BenchmarkAblationCheckpointInterval sweeps the checkpoint frequency
+// (Section IV-D: per-instruction checkpointing vs. rarer commits).
+func BenchmarkAblationCheckpointInterval(b *testing.B) {
+	spec, err := workload.ByName("SVM ADULT")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := mtj.ModernSTT()
+	r := sim.NewRunner(energy.NewModel(cfg))
+	for _, interval := range []int{1, 8, 64} {
+		b.Run(fmtSmall(interval)+"-instr", func(b *testing.B) {
+			var res sim.Result
+			for i := 0; i < b.N; i++ {
+				h := power.NewHarvester(power.Constant{W: 60e-6}, cfg.CapC, cfg.CapVMin, cfg.CapVMax)
+				var err error
+				res, err = r.RunWithCheckpointInterval(spec.Stream(), h, interval)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(res.BackupEnergy*1e9, "nJ-backup")
+			b.ReportMetric(res.DeadEnergy*1e9, "nJ-dead")
+		})
+	}
+}
+
+// BenchmarkRobustnessStudy measures the Section II-D variation analysis.
+func BenchmarkRobustnessStudy(b *testing.B) {
+	var tol float64
+	for i := 0; i < b.N; i++ {
+		tol, _ = mtj.MinVariationTolerance(mtj.ProjectedSHE())
+	}
+	b.ReportMetric(tol*100, "%-min-tolerance-SHE")
+}
+
+// BenchmarkFFTComparison measures the Section X FFT workload.
+func BenchmarkFFTComparison(b *testing.B) {
+	var rows []bench.FFTRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = bench.ComputeFFT()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		if r.System == "MOUSE Modern STT (intermittent-safe)" {
+			b.ReportMetric(r.LatencySec*1e3, "ms-modern-stt")
+		}
+	}
+}

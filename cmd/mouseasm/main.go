@@ -1,0 +1,101 @@
+// mouseasm assembles MOUSE assembly into binary program images for the
+// instruction tiles, and disassembles images back to text.
+//
+// Usage:
+//
+//	mouseasm -o prog.img prog.s      assemble
+//	mouseasm -d prog.img             disassemble to stdout
+//	mouseasm -stats prog.img         print instruction statistics
+//
+// Assembly syntax (one instruction per line; '#' and ';' comments):
+//
+//	RD <tile> <row>              read a row into the memory buffer
+//	WR <tile> <row> [rot]        write the memory buffer to a row,
+//	                             optionally rotated by rot columns
+//	PRE0 <row> | PRE1 <row>      preset a row in the active columns
+//	ACT (*|T<tile>) C <col>...   activate up to 5 listed columns
+//	ACT (*|T<tile>) R <start> <count> [stride]
+//	<GATE> <in>... <out>         e.g. NAND2 0 2 1, MAJ3 0 2 4 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"mouse/internal/isa"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "mouseasm:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("mouseasm", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	out := fs.String("o", "", "output image path (assemble mode)")
+	disasm := fs.Bool("d", false, "disassemble an image to stdout")
+	stats := fs.Bool("stats", false, "print instruction statistics for an image")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: mouseasm [-o out.img | -d | -stats] <file>")
+	}
+	path := fs.Arg(0)
+
+	if *disasm || *stats {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		prog, err := isa.ReadImage(f)
+		if err != nil {
+			return err
+		}
+		if *stats {
+			c := prog.Count()
+			fmt.Fprintf(stdout, "%d instructions: %d logic, %d preset, %d read, %d write, %d activate\n",
+				c.Total(), c.Logic, c.Preset, c.Read, c.Write, c.Act)
+			bounds := isa.SafeCheckpointBoundaries(prog)
+			fmt.Fprintf(stdout, "replay-safe regions: %d (MOUSE checkpoints per instruction regardless)\n", len(bounds))
+			if desc, n := isa.Wear(prog).Hottest(); n > 0 {
+				fmt.Fprintf(stdout, "hottest cells: %s, %d writes/pass → %.2g passes at 1e15 write endurance\n",
+					desc, n, isa.Wear(prog).LifetimeInferences(1e15))
+			}
+			return nil
+		}
+		return isa.Format(prog, stdout)
+	}
+
+	src, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer src.Close()
+	prog, err := isa.Parse(src)
+	if err != nil {
+		return err
+	}
+	if *out == "" {
+		return fmt.Errorf("assemble mode needs -o")
+	}
+	dst, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	if err := isa.WriteImage(prog, dst); err != nil {
+		dst.Close()
+		return err
+	}
+	if err := dst.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "wrote %d instructions to %s\n", len(prog), *out)
+	return nil
+}

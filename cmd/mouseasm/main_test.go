@@ -1,0 +1,67 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestAssembleDisassembleRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	img := filepath.Join(dir, "prog.img")
+
+	var out bytes.Buffer
+	if err := run([]string{"-o", img, "testdata/pair_nand.s"}, &out); err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	if !strings.Contains(out.String(), "wrote 7 instructions") {
+		t.Errorf("assemble output: %q", out.String())
+	}
+
+	out.Reset()
+	if err := run([]string{"-d", img}, &out); err != nil {
+		t.Fatalf("disassemble: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 7 {
+		t.Fatalf("disassembled %d lines: %q", len(lines), out.String())
+	}
+	if lines[0] != "ACT * R 0 4 1" || lines[6] != "WR 1 5 1" {
+		t.Errorf("disassembly wrong: %v", lines)
+	}
+
+	out.Reset()
+	if err := run([]string{"-stats", img}, &out); err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	if !strings.Contains(out.String(), "7 instructions: 2 logic, 2 preset, 1 read, 1 write, 1 activate") {
+		t.Errorf("stats output: %q", out.String())
+	}
+	if !strings.Contains(out.String(), "replay-safe regions") || !strings.Contains(out.String(), "hottest cells") {
+		t.Errorf("stats missing analyses: %q", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{}, &out); err == nil {
+		t.Errorf("missing file accepted")
+	}
+	if err := run([]string{"testdata/pair_nand.s"}, &out); err == nil {
+		t.Errorf("assemble without -o accepted")
+	}
+	if err := run([]string{"-d", "testdata/does_not_exist.img"}, &out); err == nil {
+		t.Errorf("missing image accepted")
+	}
+	// A source file with a syntax error.
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.s")
+	if err := os.WriteFile(bad, []byte("FROB 1 2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-o", filepath.Join(dir, "x.img"), bad}, &out); err == nil {
+		t.Errorf("bad assembly accepted")
+	}
+}

@@ -1,0 +1,9 @@
+# Demonstration program: NAND the bits of rows 0 and 2 in four columns,
+# then copy the result row to a second tile through the memory buffer.
+ACT * R 0 4 1     ; activate columns 0..3 everywhere
+PRE0 1            ; NAND preset
+NAND2 0 2 1
+PRE0 4            ; NOT of the NAND = AND (odd input, even output)
+NOT 1 4
+RD 0 4            ; move the AND row to tile 1, shifted one column right
+WR 1 5 1

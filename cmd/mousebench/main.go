@@ -1,0 +1,81 @@
+// mousebench regenerates the tables and figures of the MOUSE paper's
+// evaluation (Sections VIII–IX).
+//
+// Usage:
+//
+//	mousebench [-experiment all|table1|table2|table3|table4|fig9|fig10|fig11|fig12|
+//	            crossover|robustness|checkpoint|parallelism|fft]
+//
+// Each experiment prints the same rows or series the paper reports; see
+// EXPERIMENTS.md for the paper-vs-measured comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"mouse/internal/bench"
+	"mouse/internal/mtj"
+)
+
+func main() {
+	experiment := flag.String("experiment", "all", "which experiment to run")
+	flag.Parse()
+	if err := runExperiments(*experiment, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "mousebench:", err)
+		os.Exit(1)
+	}
+}
+
+// runExperiments executes the selected experiment (or all of them),
+// writing the tables to out.
+func runExperiments(experiment string, out io.Writer) error {
+	var firstErr error
+	matched := false
+	run := func(name string, f func() error) {
+		if experiment != "all" && experiment != name {
+			return
+		}
+		matched = true
+		if err := f(); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("%s: %w", name, err)
+		}
+		fmt.Fprintln(out)
+	}
+	run("table1", func() error { bench.PrintTableI(out, mtj.ModernSTT()); return nil })
+	run("table2", func() error { bench.PrintTableII(out); return nil })
+	run("table3", func() error { bench.PrintTableIII(out); return nil })
+	run("table4", func() error { bench.PrintTableIV(out); return nil })
+	run("fig9", func() error {
+		for _, cfg := range mtj.Configs() {
+			if err := bench.PrintFig9(out, cfg); err != nil {
+				return err
+			}
+			fmt.Fprintln(out)
+		}
+		return nil
+	})
+	run("fig10", func() error { return bench.PrintBreakdown(out, mtj.ModernSTT(), 60e-6, "Fig. 10") })
+	run("fig11", func() error { return bench.PrintBreakdown(out, mtj.ProjectedSTT(), 60e-6, "Fig. 11") })
+	run("fig12", func() error { return bench.PrintBreakdown(out, mtj.ProjectedSHE(), 60e-6, "Fig. 12") })
+	run("fft", func() error { return bench.PrintFFT(out) })
+	run("robustness", func() error { bench.PrintRobustness(out); return nil })
+	run("checkpoint", func() error { return bench.PrintCheckpointSweep(out, mtj.ModernSTT(), "SVM ADULT") })
+	run("parallelism", func() error { bench.PrintParallelism(out); return nil })
+	run("crossover", func() error {
+		p, err := bench.CrossoverPowerW(mtj.ModernSTT())
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "FP-BNN vs SVM MNIST (Bin) latency crossover: %.3g W\n", p)
+		fmt.Fprintln(out, "below this power the energy-hungrier FP-BNN is slower; above it its")
+		fmt.Fprintln(out, "higher exploited parallelism wins (Section IX)")
+		return nil
+	})
+	if !matched {
+		return fmt.Errorf("unknown experiment %q", experiment)
+	}
+	return firstErr
+}

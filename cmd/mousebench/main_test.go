@@ -1,0 +1,38 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunSingleExperiments(t *testing.T) {
+	// The fast experiments run end to end; the heavyweight sweeps are
+	// covered by the bench package's own tests.
+	cases := map[string]string{
+		"table1":      "Table I",
+		"table2":      "Table II",
+		"table3":      "Table III",
+		"table4":      "SONIC",
+		"robustness":  "array-level limits",
+		"parallelism": "cols",
+		"crossover":   "crossover",
+		"fft":         "CRAFFT",
+	}
+	for exp, want := range cases {
+		var out bytes.Buffer
+		if err := runExperiments(exp, &out); err != nil {
+			t.Fatalf("%s: %v", exp, err)
+		}
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("%s output missing %q", exp, want)
+		}
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var out bytes.Buffer
+	if err := runExperiments("frobnicate", &out); err == nil {
+		t.Fatalf("unknown experiment accepted")
+	}
+}

@@ -1,0 +1,130 @@
+// mousetrain trains the paper's classifier families on the synthetic
+// stand-in datasets and reports accuracies (the accuracy column of
+// Table IV uses real MNIST/HAR/ADULT, which cannot ship offline; see
+// DESIGN.md for the substitution rationale).
+//
+// Usage:
+//
+//	mousetrain [-model svm|bnn|speech|all] [-seed N] [-quick]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"mouse/internal/baseline"
+	"mouse/internal/bnn"
+	"mouse/internal/dataset"
+	"mouse/internal/svm"
+)
+
+func main() {
+	model := flag.String("model", "all", "svm, bnn, speech, or all")
+	seed := flag.Int64("seed", 1, "dataset seed")
+	quick := flag.Bool("quick", false, "smaller datasets for a fast run")
+	flag.Parse()
+
+	trainN, testN := 40, 15
+	if *quick {
+		trainN, testN = 15, 8
+	}
+	if err := run(*model, *seed, trainN, testN, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "mousetrain:", err)
+		os.Exit(1)
+	}
+}
+
+// run executes the selected training suites at the given per-class
+// dataset sizes.
+func run(model string, seed int64, trainN, testN int, out io.Writer) error {
+	matched := false
+	if model == "svm" || model == "all" {
+		matched = true
+		if err := runSVM(seed, trainN, testN, out); err != nil {
+			return err
+		}
+	}
+	if model == "bnn" || model == "all" {
+		matched = true
+		if err := runBNN(seed, trainN, testN, out); err != nil {
+			return err
+		}
+	}
+	if model == "speech" || model == "all" {
+		matched = true
+		if err := runSpeech(seed, trainN*15, testN*15, out); err != nil {
+			return err
+		}
+	}
+	if !matched {
+		return fmt.Errorf("unknown model %q", model)
+	}
+	return nil
+}
+
+func runSVM(seed int64, trainN, testN int, out io.Writer) error {
+	fmt.Fprintln(out, "SVM (poly-2 kernel, one-vs-rest), synthetic datasets")
+	digits := dataset.Digits(seed, trainN, testN)
+	sets := []*dataset.Set{
+		digits,
+		digits.Binarize(100),
+		dataset.HAR(seed+1, trainN, testN),
+		dataset.Adult(seed+2, trainN*10, testN*10),
+	}
+	for _, ds := range sets {
+		m, err := svm.Train(ds, svm.DefaultTrainConfig())
+		if err != nil {
+			return err
+		}
+		acc := svm.Accuracy(m.Predict, ds.Test)
+		im, err := m.Quantize(16)
+		if err != nil {
+			return err
+		}
+		qacc := svm.Accuracy(im.Predict, ds.Test)
+		fmt.Fprintf(out, "  %-22s #SV=%-5d float acc=%.3f  fixed-point acc=%.3f\n", ds.Name, m.NumSV(), acc, qacc)
+	}
+	return nil
+}
+
+func runBNN(seed int64, trainN, testN int, out io.Writer) error {
+	fmt.Fprintln(out, "BNN (straight-through estimator), synthetic digits")
+	digits := dataset.Digits(seed+10, trainN, testN).Binarize(100)
+	cfg := bnn.Config{Name: "FINN-proxy", In: 784, Hidden: []int{64, 64}, Out: 10, InputBits: 1}
+	// Wide binarized layers want a low learning rate: ±1 sums make the
+	// effective gradient scale grow with fan-in.
+	net, err := bnn.Train(digits, cfg, bnn.TrainConfig{Epochs: 30, LR: 0.002, Seed: 2})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "  %-22s layers=%v acc=%.3f\n", cfg.Name, cfg.Widths(), bnn.Accuracy(net, digits.Test))
+
+	raw := dataset.Digits(seed+11, trainN, testN)
+	cfg8 := bnn.Config{Name: "FP-BNN-proxy", In: 784, Hidden: []int{64, 64}, Out: 10, InputBits: 8}
+	net8, err := bnn.Train(raw, cfg8, bnn.TrainConfig{Epochs: 20, LR: 0.005, Seed: 3})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "  %-22s layers=%v acc=%.3f\n", cfg8.Name, cfg8.Widths(), bnn.Accuracy(net8, raw.Test))
+	return nil
+}
+
+// runSpeech reproduces the Section III observation: the poly-2 SVM
+// cannot learn the speech task; a neural network can.
+func runSpeech(seed int64, trainN, testN int, out io.Writer) error {
+	fmt.Fprintln(out, "Speech task (Section III: SVMs fail, networks succeed)")
+	ds := dataset.Speech(seed+20, trainN, testN)
+	m, err := svm.Train(ds, svm.DefaultTrainConfig())
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "  %-22s acc=%.3f (chance is 0.500)\n", "SVM poly-2", svm.Accuracy(m.Predict, ds.Test))
+	mlp, err := baseline.TrainMLP(ds, baseline.MLPConfig{Hidden: []int{32, 16}, Epochs: 60, LR: 0.01, Seed: 2})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "  %-22s acc=%.3f\n", "neural network (MLP)", baseline.MLPAccuracy(mlp, ds.Test))
+	return nil
+}

@@ -1,0 +1,43 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training suite skipped in -short mode")
+	}
+	var out bytes.Buffer
+	// Minimal dataset sizes keep the whole suite to a few seconds.
+	if err := run("all", 1, 4, 2, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{
+		"MNIST-syn", "binarized", "HAR-syn", "ADULT-syn",
+		"FINN-proxy", "FP-BNN-proxy", "Speech task", "neural network",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunSelectsModels(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training suite skipped in -short mode")
+	}
+	var out bytes.Buffer
+	if err := run("svm", 2, 3, 2, &out); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out.String(), "FINN-proxy") {
+		t.Errorf("svm-only run trained the BNN")
+	}
+	if err := run("frob", 1, 2, 2, &out); err == nil {
+		t.Errorf("unknown model accepted")
+	}
+}

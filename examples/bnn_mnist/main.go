@@ -1,0 +1,125 @@
+// BNN MNIST end to end: train a binarized network on synthetic digits,
+// compile it so the weights fold into the instruction stream (weight +1
+// passes an activation through, −1 becomes a NOT gate — the model IS the
+// program, preloaded into the instruction tiles), then classify a batch
+// of images across columns on the functional array, with and without
+// power outages. Closes with the FINN/FP-BNN paper-scale comparison.
+//
+//	go run ./examples/bnn_mnist
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mouse/internal/array"
+	"mouse/internal/bnn"
+	"mouse/internal/controller"
+	"mouse/internal/dataset"
+	"mouse/internal/energy"
+	"mouse/internal/mtj"
+	"mouse/internal/power"
+	"mouse/internal/sim"
+	"mouse/internal/workload"
+)
+
+// pool4 max-pools a 28×28 image to 7×7.
+func pool4(x []int) []int {
+	out := make([]int, 49)
+	for y := 0; y < 7; y++ {
+		for xx := 0; xx < 7; xx++ {
+			m := 0
+			for dy := 0; dy < 4; dy++ {
+				for dx := 0; dx < 4; dx++ {
+					if v := x[(y*4+dy)*28+xx*4+dx]; v > m {
+						m = v
+					}
+				}
+			}
+			out[y*7+xx] = m
+		}
+	}
+	return out
+}
+
+func main() {
+	// Synthetic digits, pooled to 7×7 and binarized.
+	raw := dataset.Digits(19, 15, 6)
+	ds := &dataset.Set{Name: "digits 7x7", NumFeatures: 49, NumClasses: 10}
+	for _, s := range raw.Train {
+		ds.Train = append(ds.Train, dataset.Sample{X: pool4(s.X), Label: s.Label})
+	}
+	for _, s := range raw.Test {
+		ds.Test = append(ds.Test, dataset.Sample{X: pool4(s.X), Label: s.Label})
+	}
+	ds = ds.Binarize(100)
+
+	cfg := bnn.Config{Name: "mini-FINN", In: 49, Hidden: []int{32, 24}, Out: 10, InputBits: 1}
+	net, err := bnn.Train(ds, cfg, bnn.TrainConfig{Epochs: 40, LR: 0.005, Seed: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trained %v BNN, golden-model accuracy %.2f\n", cfg.Widths(), bnn.Accuracy(net, ds.Test))
+
+	const batch = 8
+	mp, err := bnn.CompileMapping(net, 1024, batch)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("compiled: %d instructions, %d gates — the weights live in the instruction stream\n\n",
+		len(mp.Prog), mp.Gates)
+
+	// Classify a batch across columns, under a starved supply.
+	mach := array.NewMachine(mtj.ModernSTT(), 1, 1024, batch)
+	samples := ds.Test[:batch]
+	for col, s := range samples {
+		for i, row := range mp.InputRows {
+			mach.Tiles[0].SetBit(row, col, s.X[i])
+		}
+	}
+	ctl := controller.New(controller.ProgramStore(mp.Prog), mach)
+	runner := sim.NewMachineRunner(ctl)
+	h := power.NewHarvester(power.Constant{W: 5e-6}, 20e-9, 0.320, 0.340)
+	res, err := runner.Run(h)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("batch of %d classified through %d power outages:\n", batch, res.Restarts)
+	matches := 0
+	for col, s := range samples {
+		best, bestScore := 0, 0
+		for class, rows := range mp.PopRows {
+			bits := make([]int, len(rows))
+			for i, row := range rows {
+				bits[i] = mach.Tiles[0].Bit(row, col)
+			}
+			score := net.ScoreFromPop(class, mp.PopFromBits(bits))
+			if class == 0 || score > bestScore {
+				best, bestScore = class, score
+			}
+		}
+		golden := net.Predict(s.X)
+		tick := "✓"
+		if best == golden {
+			matches++
+		} else {
+			tick = "✗"
+		}
+		fmt.Printf("  image %d: hardware says %d, golden model says %d, label %d %s\n",
+			col, best, golden, s.Label, tick)
+	}
+	fmt.Printf("%d/%d hardware predictions match the golden model exactly\n\n", matches, batch)
+
+	// Paper-scale configurations under continuous power.
+	fmt.Println("paper-scale BNNs (Modern STT, continuous power):")
+	r := sim.NewRunner(energy.NewModel(mtj.ModernSTT()))
+	for _, name := range []string{"BNN FINN MNIST", "BNN FPBNN MNIST"} {
+		spec, err := workload.ByName(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		out := r.RunContinuous(spec.Stream())
+		fmt.Printf("  %-16s %8.0f µs  %7.2f µJ (%d instructions)\n",
+			name, out.OnLatency*1e6, out.TotalEnergy()*1e6, out.Instructions)
+	}
+}

@@ -1,0 +1,132 @@
+// MNIST SVM end to end: train a polynomial-kernel SVM on synthetic
+// binarized digits (downsampled so the compiled program stays small),
+// compile it to a MOUSE program — class c's one-vs-rest machine in
+// column c — and classify test images gate by gate on the functional
+// array, comparing against the fixed-point golden model. Finally, the
+// paper-scale MNIST benchmark is estimated under a 60 µW harvester.
+//
+//	go run ./examples/mnist_svm
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mouse/internal/array"
+	"mouse/internal/controller"
+	"mouse/internal/dataset"
+	"mouse/internal/energy"
+	"mouse/internal/mtj"
+	"mouse/internal/power"
+	"mouse/internal/sim"
+	"mouse/internal/svm"
+	"mouse/internal/workload"
+)
+
+// downsample reduces a 28×28 image to 7×7 by 4×4 max pooling, keeping
+// the compiled per-column program within the 1024-row budget.
+func downsample(s *dataset.Set) *dataset.Set {
+	const from, factor = 28, 4
+	to := from / factor
+	out := &dataset.Set{Name: s.Name + " 7x7", NumFeatures: to * to, NumClasses: s.NumClasses}
+	shrink := func(in []dataset.Sample) []dataset.Sample {
+		res := make([]dataset.Sample, len(in))
+		for i, smp := range in {
+			x := make([]int, to*to)
+			for y := 0; y < to; y++ {
+				for xx := 0; xx < to; xx++ {
+					maxV := 0
+					for dy := 0; dy < factor; dy++ {
+						for dx := 0; dx < factor; dx++ {
+							v := smp.X[(y*factor+dy)*from+xx*factor+dx]
+							if v > maxV {
+								maxV = v
+							}
+						}
+					}
+					x[y*to+xx] = maxV
+				}
+			}
+			res[i] = dataset.Sample{X: x, Label: smp.Label}
+		}
+		return res
+	}
+	out.Train = shrink(s.Train)
+	out.Test = shrink(s.Test)
+	return out
+}
+
+func main() {
+	fmt.Println("== training a poly-2 SVM on synthetic binarized digits (7x7) ==")
+	ds := downsample(dataset.Digits(7, 12, 4)).Binarize(100)
+	model, err := svm.Train(ds, svm.DefaultTrainConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	im, err := model.Quantize(12)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("model: %d support vectors, %d classes, fixed-point accuracy %.2f\n",
+		im.NumSV(), im.Classes, svm.Accuracy(im.Predict, ds.Test))
+
+	fmt.Println("\n== compiling to a MOUSE program (one support vector per column) ==")
+	mp, err := svm.CompileParallelMapping(im, 1024, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("program: %d instructions, %d logic gates across %d columns, %d-bit scores\n",
+		len(mp.Prog), mp.Gates, mp.Columns, mp.AccBits)
+
+	mach := array.NewMachine(mtj.ModernSTT(), 1, 1024, mp.Columns)
+	correct, hwMatches := 0, 0
+	n := 5
+	for _, s := range ds.Test[:n] {
+		for j, rows := range mp.InputRows {
+			for bi, row := range rows {
+				bit := (s.X[j] >> bi) & 1
+				for col := 0; col < mp.Columns; col++ {
+					mach.Tiles[0].SetBit(row, col, bit)
+				}
+			}
+		}
+		ctl := controller.New(controller.ProgramStore(mp.Prog), mach)
+		if err := ctl.Run(); err != nil {
+			log.Fatal(err)
+		}
+		best, bestScore := 0, int64(0)
+		for class := 0; class < im.Classes; class++ {
+			bits := make([]int, len(mp.ScoreRows))
+			for i, row := range mp.ScoreRows {
+				bits[i] = mach.Tiles[0].Bit(row, mp.ClassColumn(class))
+			}
+			score := mp.ReadScore(bits)
+			if class == 0 || score > bestScore {
+				best, bestScore = class, score
+			}
+		}
+		if best == im.Predict(s.X) {
+			hwMatches++
+		}
+		if best == s.Label {
+			correct++
+		}
+	}
+	fmt.Printf("classified %d images in-array: %d/%d correct, %d/%d match the golden model exactly\n",
+		n, correct, n, hwMatches, n)
+
+	fmt.Println("\n== paper-scale SVM MNIST under a 60 µW harvester (Modern STT) ==")
+	spec, err := workload.ByName("SVM MNIST")
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := mtj.ModernSTT()
+	runner := sim.NewRunner(energy.NewModel(cfg))
+	h := power.NewHarvester(power.Constant{W: 60e-6}, cfg.CapC, cfg.CapVMin, cfg.CapVMax)
+	res, err := runner.Run(spec.Stream(), h)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("one inference: %.2f s total (%.1f ms computing, %.2f s charging), %.0f µJ, %d restarts\n",
+		res.TotalLatency(), res.OnLatency*1e3, res.OffLatency, res.TotalEnergy()*1e6, res.Restarts)
+}

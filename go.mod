@@ -1,0 +1,3 @@
+module mouse
+
+go 1.22

@@ -1,0 +1,242 @@
+// Package array is the bit-accurate functional model of MOUSE's memory
+// tiles (Section II-C of the paper): MTJ cell arrays with even/odd bit
+// lines, a shared logic line per column, word lines per row, and a
+// column-activation latch in the peripheral circuitry.
+//
+// The package distinguishes non-volatile state (the MTJ cells themselves,
+// which survive power outages) from volatile peripheral state (the
+// column-activation latches, which do not). A simulated outage clears the
+// volatile state via LoseVolatile; the controller restores it by
+// re-issuing the most recent Activate Columns instruction (Section IV-D).
+//
+// Logic operations execute through the same resistor-network device model
+// used by package mtj, so an interrupted operation (modelled as a
+// truncated or per-column-partial current pulse) behaves exactly like the
+// hardware: outputs either completed their unidirectional switch or were
+// left untouched, and re-performing the operation is always safe.
+package array
+
+import (
+	"fmt"
+
+	"mouse/internal/isa"
+	"mouse/internal/mtj"
+)
+
+// Tile is one MTJ array with its column-activation latch.
+type Tile struct {
+	cfg  *mtj.Config
+	rows int
+	cols int
+
+	// cells holds the non-volatile MTJ devices, row-major.
+	cells []mtj.Device
+
+	// active is the volatile peripheral column latch.
+	active []bool
+}
+
+// NewTile creates a rows×cols tile with every cell in the P (0) state and
+// no columns active.
+func NewTile(cfg *mtj.Config, rows, cols int) *Tile {
+	if rows <= 0 || cols <= 0 || rows > isa.Rows || cols > isa.Cols {
+		panic(fmt.Sprintf("array: bad tile geometry %dx%d", rows, cols))
+	}
+	return &Tile{
+		cfg:    cfg,
+		rows:   rows,
+		cols:   cols,
+		cells:  make([]mtj.Device, rows*cols),
+		active: make([]bool, cols),
+	}
+}
+
+// Rows returns the number of rows in the tile.
+func (t *Tile) Rows() int { return t.rows }
+
+// Cols returns the number of columns in the tile.
+func (t *Tile) Cols() int { return t.cols }
+
+func (t *Tile) cell(row, col int) *mtj.Device {
+	return &t.cells[row*t.cols+col]
+}
+
+// Bit returns the logic value stored at (row, col).
+func (t *Tile) Bit(row, col int) int { return t.cell(row, col).Bit() }
+
+// SetBit stores a logic value at (row, col), modelling a completed write.
+func (t *Tile) SetBit(row, col, bit int) { t.cell(row, col).Set(mtj.FromBit(bit)) }
+
+// ActiveColumns returns the indices of currently active columns.
+func (t *Tile) ActiveColumns() []int {
+	var out []int
+	for c, a := range t.active {
+		if a {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// ActiveCount returns how many columns are active.
+func (t *Tile) ActiveCount() int {
+	n := 0
+	for _, a := range t.active {
+		if a {
+			n++
+		}
+	}
+	return n
+}
+
+// SetActive replaces the tile's active-column latch with exactly the
+// given columns. Columns beyond the tile width are ignored (the decoder
+// simply has no such column).
+func (t *Tile) SetActive(cols []uint16) {
+	for i := range t.active {
+		t.active[i] = false
+	}
+	for _, c := range cols {
+		if int(c) < t.cols {
+			t.active[c] = true
+		}
+	}
+}
+
+// ClearActive deactivates every column.
+func (t *Tile) ClearActive() { t.SetActive(nil) }
+
+// LoseVolatile models a power outage: the peripheral activation latch is
+// cleared, while the MTJ cells retain their states.
+func (t *Tile) LoseVolatile() { t.ClearActive() }
+
+// ReadRow senses one full row into buf (least-significant bit of buf[0]
+// is column 0). buf must hold at least (cols+7)/8 bytes.
+func (t *Tile) ReadRow(row int, buf []byte) error {
+	if err := t.checkRow(row); err != nil {
+		return err
+	}
+	if len(buf)*8 < t.cols {
+		return fmt.Errorf("array: read buffer too small (%d bytes for %d columns)", len(buf), t.cols)
+	}
+	for i := range buf {
+		buf[i] = 0
+	}
+	for c := 0; c < t.cols; c++ {
+		if t.cell(row, c).Bit() == 1 {
+			buf[c/8] |= 1 << (c % 8)
+		}
+	}
+	return nil
+}
+
+// WriteRow writes one full row from buf, the inverse of ReadRow.
+// upTo limits how many columns complete (modelling an interrupted write);
+// pass cols or more for a full write. Re-performing an interrupted write
+// is safe because writes do not depend on the previous cell state.
+func (t *Tile) WriteRow(row int, buf []byte, upTo int) error {
+	return t.WriteRowRot(row, buf, 0, upTo)
+}
+
+// WriteRowRot writes one full row from buf rotated left by rot columns:
+// destination column c receives buffer bit (c-rot) mod cols. A read
+// followed by a rotated write moves data horizontally across columns —
+// the only horizontal datapath MOUSE has (Section VI's partial-sum
+// moves). The pair stays idempotent across outages because the buffer is
+// non-volatile and the write overwrites unconditionally.
+func (t *Tile) WriteRowRot(row int, buf []byte, rot, upTo int) error {
+	if err := t.checkRow(row); err != nil {
+		return err
+	}
+	if len(buf)*8 < t.cols {
+		return fmt.Errorf("array: write buffer too small (%d bytes for %d columns)", len(buf), t.cols)
+	}
+	if rot < 0 || rot >= t.cols {
+		return fmt.Errorf("array: rotation %d out of range [0, %d)", rot, t.cols)
+	}
+	if upTo > t.cols {
+		upTo = t.cols
+	}
+	for c := 0; c < upTo; c++ {
+		src := c - rot
+		if src < 0 {
+			src += t.cols
+		}
+		bit := int(buf[src/8]>>(src%8)) & 1
+		t.cell(row, c).Set(mtj.FromBit(bit))
+	}
+	return nil
+}
+
+// PresetRow writes state s into row across the active columns, the
+// preparation step before a logic operation. upTo limits how many of the
+// active columns complete (interruption model); pass the column count or
+// more for a full preset.
+func (t *Tile) PresetRow(row int, s mtj.State, upTo int) error {
+	if err := t.checkRow(row); err != nil {
+		return err
+	}
+	done := 0
+	for c := 0; c < t.cols && done < upTo; c++ {
+		if t.active[c] {
+			t.cell(row, c).Set(s)
+			done++
+		}
+	}
+	return nil
+}
+
+// PulseLength describes how much of a logic operation's current pulse a
+// column received, as a fraction of the switching time. A full operation
+// delivers 1.0 everywhere; an interrupted operation delivers less in some
+// or all columns.
+type PulseLength func(col int) float64
+
+// FullPulse is the uninterrupted pulse profile.
+func FullPulse(int) float64 { return 1.0 }
+
+// ExecLogic performs gate g with the given input rows and output row in
+// every active column, delivering pulse(col) of the switching time to
+// each column. Input and output parities must satisfy the bit-line
+// crossing requirement (validated at the ISA layer; re-checked here).
+func (t *Tile) ExecLogic(g mtj.GateKind, inRows []int, outRow int, pulse PulseLength) error {
+	spec := mtj.Spec(g)
+	if len(inRows) != spec.Inputs {
+		return fmt.Errorf("array: %s takes %d inputs, got %d", g, spec.Inputs, len(inRows))
+	}
+	if err := t.checkRow(outRow); err != nil {
+		return err
+	}
+	for _, r := range inRows {
+		if err := t.checkRow(r); err != nil {
+			return err
+		}
+		if r&1 == outRow&1 {
+			return fmt.Errorf("array: %s: input row %d shares parity with output row %d", g, r, outRow)
+		}
+	}
+	bias, err := mtj.Bias(g, t.cfg)
+	if err != nil {
+		return err
+	}
+	inputs := make([]mtj.State, spec.Inputs)
+	for c := 0; c < t.cols; c++ {
+		if !t.active[c] {
+			continue
+		}
+		for i, r := range inRows {
+			inputs[i] = t.cell(r, c).State()
+		}
+		i := mtj.DriveCurrent(g, t.cfg, bias, inputs)
+		dur := pulse(c) * t.cfg.P.SwitchTime
+		t.cell(outRow, c).ApplyPulse(&t.cfg.P, spec.Dir, i, dur)
+	}
+	return nil
+}
+
+func (t *Tile) checkRow(row int) error {
+	if row < 0 || row >= t.rows {
+		return fmt.Errorf("array: row %d out of range [0, %d)", row, t.rows)
+	}
+	return nil
+}

@@ -1,0 +1,303 @@
+package array
+
+import (
+	"testing"
+
+	"mouse/internal/isa"
+	"mouse/internal/mtj"
+)
+
+func testMachine(t *testing.T) *Machine {
+	t.Helper()
+	return NewMachine(mtj.ModernSTT(), 3, 16, 16)
+}
+
+func TestNewMachinePanicsOnBadCount(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("no panic")
+		}
+	}()
+	NewMachine(mtj.ModernSTT(), 0, 16, 16)
+}
+
+func TestMachineReadWriteThroughBuffer(t *testing.T) {
+	m := testMachine(t)
+	m.Tiles[0].SetBit(3, 5, 1)
+	m.Tiles[0].SetBit(3, 9, 1)
+
+	if err := m.Exec(isa.Read(0, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Exec(isa.Write(2, 7)); err != nil {
+		t.Fatal(err)
+	}
+	if m.Tiles[2].Bit(7, 5) != 1 || m.Tiles[2].Bit(7, 9) != 1 {
+		t.Errorf("inter-tile copy via buffer failed")
+	}
+	if m.Tiles[2].Bit(7, 4) != 0 {
+		t.Errorf("stray bit set")
+	}
+}
+
+func TestMachineExecRejectsBadTile(t *testing.T) {
+	m := testMachine(t)
+	if err := m.Exec(isa.Read(7, 0)); err == nil {
+		t.Errorf("read from nonexistent tile accepted")
+	}
+	if err := m.Exec(isa.Write(7, 0)); err == nil {
+		t.Errorf("write to nonexistent tile accepted")
+	}
+}
+
+func TestMachineActivateBroadcast(t *testing.T) {
+	m := testMachine(t)
+	if err := m.Exec(isa.ActList(true, 0, []uint16{1, 2})); err != nil {
+		t.Fatal(err)
+	}
+	if m.ActivePairs() != 6 {
+		t.Fatalf("ActivePairs = %d, want 6", m.ActivePairs())
+	}
+	// Targeted activation replaces the whole configuration.
+	if err := m.Exec(isa.ActList(false, 1, []uint16{4})); err != nil {
+		t.Fatal(err)
+	}
+	if m.ActivePairs() != 1 {
+		t.Fatalf("ActivePairs after targeted ACT = %d, want 1", m.ActivePairs())
+	}
+	if m.Tiles[1].ActiveCount() != 1 || m.Tiles[0].ActiveCount() != 0 {
+		t.Fatalf("targeted ACT landed on wrong tile")
+	}
+}
+
+func TestMachinePresetAndLogicAcrossTiles(t *testing.T) {
+	m := testMachine(t)
+	// Different data per tile, same columns active everywhere.
+	m.Tiles[0].SetBit(0, 3, 1)
+	m.Tiles[0].SetBit(2, 3, 1)
+	m.Tiles[1].SetBit(0, 3, 1)
+	m.Tiles[1].SetBit(2, 3, 0)
+
+	prog := isa.Program{
+		isa.ActList(true, 0, []uint16{3}),
+		isa.Preset(1, mtj.AP), // AND preset
+		isa.Logic(mtj.AND2, []int{0, 2}, 1),
+	}
+	for _, in := range prog {
+		if err := m.Exec(in); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.Tiles[0].Bit(1, 3) != 1 {
+		t.Errorf("tile 0: AND(1,1) = %d", m.Tiles[0].Bit(1, 3))
+	}
+	if m.Tiles[1].Bit(1, 3) != 0 {
+		t.Errorf("tile 1: AND(1,0) = %d", m.Tiles[1].Bit(1, 3))
+	}
+	if m.Tiles[2].Bit(1, 3) != 0 {
+		t.Errorf("tile 2: AND(0,0) = %d", m.Tiles[2].Bit(1, 3))
+	}
+}
+
+func TestMachineLoseVolatile(t *testing.T) {
+	m := testMachine(t)
+	if err := m.Exec(isa.ActList(true, 0, []uint16{1})); err != nil {
+		t.Fatal(err)
+	}
+	m.Buffer[0] = 0xFF
+	m.Tiles[0].SetBit(5, 5, 1)
+	m.LoseVolatile()
+	if m.ActivePairs() != 0 {
+		t.Errorf("activation survived outage")
+	}
+	if m.Buffer[0] != 0xFF {
+		t.Errorf("non-volatile buffer lost its contents (a RD/WR pair spans a checkpoint, so it must persist)")
+	}
+	if m.Tiles[0].Bit(5, 5) != 1 {
+		t.Errorf("non-volatile cell lost its state")
+	}
+}
+
+func TestMachineExecValidates(t *testing.T) {
+	m := testMachine(t)
+	bad := isa.Instruction{Kind: isa.KindLogic, Gate: mtj.GateKind(99)}
+	if err := m.Exec(bad); err == nil {
+		t.Errorf("invalid instruction accepted")
+	}
+	if err := m.Activate(isa.Read(0, 0)); err == nil {
+		t.Errorf("Activate accepted a read")
+	}
+}
+
+func TestLoadReadBits(t *testing.T) {
+	m := testMachine(t)
+	bits := []int{1, 0, 1, 1}
+	if err := m.LoadBits(1, 4, 2, 2, bits); err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.ReadBits(1, 4, 2, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range bits {
+		if got[i] != bits[i] {
+			t.Fatalf("ReadBits = %v, want %v", got, bits)
+		}
+	}
+	if err := m.LoadBits(1, 4, 15, 2, bits); err == nil {
+		t.Errorf("out-of-range LoadBits accepted")
+	}
+	if _, err := m.ReadBits(1, 4, 15, 2, 4); err == nil {
+		t.Errorf("out-of-range ReadBits accepted")
+	}
+	if err := m.LoadBits(9, 0, 0, 1, bits); err == nil {
+		t.Errorf("bad tile accepted")
+	}
+}
+
+func TestRotatedWriteMovesAcrossColumns(t *testing.T) {
+	m := testMachine(t) // 3 tiles, 16x16
+	// Data in columns 2 and 5 of row 0.
+	m.Tiles[0].SetBit(0, 2, 1)
+	m.Tiles[0].SetBit(0, 5, 1)
+	if err := m.Exec(isa.Read(0, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Exec(isa.WriteRot(0, 3, 4)); err != nil {
+		t.Fatal(err)
+	}
+	for c := 0; c < 16; c++ {
+		want := 0
+		if c == 6 || c == 9 { // shifted right by 4
+			want = 1
+		}
+		if got := m.Tiles[0].Bit(3, c); got != want {
+			t.Errorf("col %d = %d, want %d", c, got, want)
+		}
+	}
+	// Rotation wraps at the tile width.
+	if err := m.Exec(isa.WriteRot(0, 5, 15)); err != nil {
+		t.Fatal(err)
+	}
+	if m.Tiles[0].Bit(5, 1) != 1 || m.Tiles[0].Bit(5, 4) != 1 {
+		t.Errorf("wrapped rotation wrong")
+	}
+	// A rotation beyond the narrow tile's width wraps modulo the width.
+	if err := m.Exec(isa.WriteRot(0, 7, 16+4)); err != nil {
+		t.Fatal(err)
+	}
+	if m.Tiles[0].Bit(7, 6) != 1 {
+		t.Errorf("modulo rotation wrong")
+	}
+}
+
+func TestWriteRowRotValidates(t *testing.T) {
+	tile := m0(t)
+	buf := make([]byte, 2)
+	if err := tile.WriteRowRot(0, buf, -1, 99); err == nil {
+		t.Errorf("negative rotation accepted")
+	}
+	if err := tile.WriteRowRot(0, buf, 16, 99); err == nil {
+		t.Errorf("rotation = width accepted")
+	}
+}
+
+func m0(t *testing.T) *Tile {
+	t.Helper()
+	return NewTile(mtj.ModernSTT(), 4, 16)
+}
+
+func TestSensorInPackage(t *testing.T) {
+	// The sensor protocol is exercised end to end from the controller
+	// package; this covers the in-package surface.
+	m := testMachine(t)
+	s := NewSensorBuffer(mtj.ModernSTT(), 2, 16)
+	tileAddr := m.AttachSensor(s)
+	if tileAddr != 3 {
+		t.Fatalf("sensor tile at %d, want 3", tileAddr)
+	}
+	if s.Valid() {
+		t.Fatalf("fresh sensor valid")
+	}
+	bits := make([]int, 32)
+	bits[5], bits[17] = 1, 1
+	if err := s.Provide(bits); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Valid() || s.Tile().Bit(0, 5) != 1 || s.Tile().Bit(1, 1) != 1 {
+		t.Fatalf("sample not stored")
+	}
+	// A read from the attached tile lands in the buffer.
+	if err := m.Exec(isa.Read(tileAddr, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if m.Buffer[0]&(1<<5) == 0 {
+		t.Fatalf("sensor row not readable through the machine")
+	}
+	// Broadcast compute never touches the sensor tile.
+	if err := m.Exec(isa.ActRange(true, 0, 0, 16, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if s.Tile().ActiveCount() != 0 {
+		t.Fatalf("broadcast ACT activated sensor columns")
+	}
+	if err := m.Exec(isa.Preset(0, mtj.AP)); err != nil {
+		t.Fatal(err)
+	}
+	if s.Tile().Bit(0, 0) != 0 {
+		t.Fatalf("broadcast preset wrote the sensor tile")
+	}
+	// Targeted ACT at the sensor tile is rejected.
+	if err := m.Exec(isa.ActList(false, uint16ToInt(tileAddr), []uint16{1})); err == nil {
+		t.Fatalf("activating the sensor tile succeeded")
+	}
+	s.Consume()
+	if s.Valid() {
+		t.Fatalf("consume kept valid set")
+	}
+	if err := s.ProvidePartial(bits, 3); err != nil {
+		t.Fatal(err)
+	}
+	if s.Valid() {
+		t.Fatalf("torn sample valid")
+	}
+}
+
+func uint16ToInt(v int) int { return v }
+
+func TestPresetRowOutOfRange(t *testing.T) {
+	tile := m0(t)
+	if err := tile.PresetRow(99, mtj.AP, 1); err == nil {
+		t.Fatalf("out-of-range preset accepted")
+	}
+}
+
+func TestExecLogicBiasError(t *testing.T) {
+	// An unrealizable gate configuration surfaces as an error rather
+	// than silent wrong results: corrupt the config so every window
+	// collapses.
+	bad := *mtj.ModernSTT()
+	tile := NewTile(&bad, 8, 2)
+	tile.SetActive([]uint16{0})
+	// Same resistances for both states would be caught by Validate, but
+	// ExecLogic re-derives the bias each call; exercise its error path
+	// via an out-of-range input row instead.
+	if err := tile.ExecLogic(mtj.NAND2, []int{0, 88}, 1, FullPulse); err == nil {
+		t.Fatalf("bad input row accepted")
+	}
+}
+
+func TestExecPartialUnknownKind(t *testing.T) {
+	m := testMachine(t)
+	bad := isa.Instruction{Kind: isa.Kind(99)}
+	if err := m.Exec(bad); err == nil {
+		t.Fatalf("unknown kind accepted")
+	}
+}
+
+func TestReadBitsNegativeStart(t *testing.T) {
+	m := testMachine(t)
+	if _, err := m.ReadBits(0, 0, -1, 1, 2); err == nil {
+		t.Fatalf("negative start accepted")
+	}
+}

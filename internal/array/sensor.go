@@ -1,0 +1,73 @@
+package array
+
+import (
+	"fmt"
+
+	"mouse/internal/mtj"
+)
+
+// SensorBuffer models the attached sensor's non-volatile input buffer
+// (Section IV-E): it is assigned a tile address and treated as one of
+// the tiles (MOUSE reads it with ordinary RD instructions), and it
+// carries a non-volatile valid bit that the sensor sets only once a
+// sample has been written in full. If power dies while the sensor is
+// filling the buffer, the valid bit stays zero, and MOUSE's restart
+// protocol rewinds to the start of the sensor-read code (the dedicated
+// sensor-PC register) instead of consuming a torn sample.
+type SensorBuffer struct {
+	tile  *Tile
+	valid bool
+}
+
+// NewSensorBuffer creates a sensor buffer backed by a rows×cols tile.
+func NewSensorBuffer(cfg *mtj.Config, rows, cols int) *SensorBuffer {
+	return &SensorBuffer{tile: NewTile(cfg, rows, cols)}
+}
+
+// Tile exposes the buffer's tile so a Machine can map it at a tile
+// address.
+func (s *SensorBuffer) Tile() *Tile { return s.tile }
+
+// Valid reports whether a complete sample is ready (the non-volatile
+// valid bit). It implements controller.Sensor.
+func (s *SensorBuffer) Valid() bool { return s.valid }
+
+// Provide writes a complete sample into the buffer — bits[i] lands in
+// row i/cols, column i%cols — and sets the valid bit. This models the
+// sensor's own transfer completing.
+func (s *SensorBuffer) Provide(bits []int) error {
+	if len(bits) > s.tile.Rows()*s.tile.Cols() {
+		return fmt.Errorf("array: sample of %d bits exceeds the sensor buffer", len(bits))
+	}
+	s.valid = false
+	for i, b := range bits {
+		s.tile.SetBit(i/s.tile.Cols(), i%s.tile.Cols(), b)
+	}
+	s.valid = true
+	return nil
+}
+
+// ProvidePartial models the sensor's transfer being cut off by an
+// outage after upTo bits: the buffer holds a torn sample and the valid
+// bit stays zero.
+func (s *SensorBuffer) ProvidePartial(bits []int, upTo int) error {
+	if len(bits) > s.tile.Rows()*s.tile.Cols() {
+		return fmt.Errorf("array: sample of %d bits exceeds the sensor buffer", len(bits))
+	}
+	s.valid = false
+	for i := 0; i < upTo && i < len(bits); i++ {
+		s.tile.SetBit(i/s.tile.Cols(), i%s.tile.Cols(), bits[i])
+	}
+	return nil
+}
+
+// Consume clears the valid bit once MOUSE has transferred the sample,
+// signalling the sensor that the buffer may be refilled.
+func (s *SensorBuffer) Consume() { s.valid = false }
+
+// AttachSensor maps the sensor buffer's tile at the next tile address of
+// the machine and returns that address.
+func (m *Machine) AttachSensor(s *SensorBuffer) int {
+	m.Tiles = append(m.Tiles, s.Tile())
+	return len(m.Tiles) - 1
+}

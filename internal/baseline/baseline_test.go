@@ -1,0 +1,135 @@
+package baseline
+
+import (
+	"testing"
+
+	"mouse/internal/dataset"
+	"mouse/internal/power"
+	"mouse/internal/svm"
+)
+
+func TestSONICContinuousCalibration(t *testing.T) {
+	// With ample power (its 5 mW design point), the model's latency and
+	// energy must approach the published continuous numbers.
+	for _, s := range []*SONIC{SONICMNIST(), SONICHAR()} {
+		res, err := s.Run(power.Constant{W: 20e-3})
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+		if res.Restarts != 0 {
+			t.Errorf("%s: %d restarts at 20 mW", s.Name, res.Restarts)
+		}
+		if res.OnLatency < s.ContLatency*0.9 || res.OnLatency > s.ContLatency*1.2 {
+			t.Errorf("%s: on-latency %.3f s vs published %.3f s", s.Name, res.OnLatency, s.ContLatency)
+		}
+		if res.Energy < s.ContEnergy*0.9 || res.Energy > s.ContEnergy*1.2 {
+			t.Errorf("%s: energy %.6f J vs published %.6f J", s.Name, res.Energy, s.ContEnergy)
+		}
+	}
+}
+
+func TestSONICLatencyGrowsAsPowerFalls(t *testing.T) {
+	s := SONICMNIST()
+	var prev float64
+	for _, w := range []float64{5e-3, 1e-3, 250e-6, 60e-6} {
+		res, err := s.Run(power.Constant{W: w})
+		if err != nil {
+			t.Fatalf("%g W: %v", w, err)
+		}
+		if prev != 0 && res.Latency <= prev {
+			t.Errorf("latency did not grow as power fell: %.3f s at %g W vs %.3f s before", res.Latency, w, prev)
+		}
+		prev = res.Latency
+	}
+}
+
+func TestSONICIntermittentOverheads(t *testing.T) {
+	s := SONICMNIST()
+	// At 1 mW the 9.85 mW device must cycle on and off repeatedly.
+	res, err := s.Run(power.Constant{W: 1e-3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Restarts == 0 {
+		t.Errorf("no restarts under starved power")
+	}
+	if res.Energy <= s.ContEnergy {
+		t.Errorf("intermittent energy %.6f not above continuous %.6f", res.Energy, s.ContEnergy)
+	}
+	// Latency is roughly energy-bound: close to E/P plus overheads.
+	bound := s.ContEnergy / 1e-3
+	if res.Latency < bound*0.8 {
+		t.Errorf("latency %.2f below the energy bound %.2f", res.Latency, bound)
+	}
+}
+
+func TestSONICRejectsImpossibleBuffer(t *testing.T) {
+	s := SONICMNIST()
+	s.Cap = 1e-9 // window too small for one task
+	if _, err := s.Run(power.Constant{W: 1e-3}); err == nil {
+		t.Errorf("impossible buffer accepted")
+	}
+	s = SONICMNIST()
+	if _, err := s.Run(power.Constant{W: 0}); err == nil {
+		t.Errorf("zero power accepted")
+	}
+}
+
+func TestReferenceRows(t *testing.T) {
+	cpu := CPUReference()
+	if len(cpu) != 4 || cpu[0].EnergyUJ != 5094702 {
+		t.Errorf("CPU reference wrong: %+v", cpu)
+	}
+	lib := LibSVMReference()
+	if len(lib) != 4 || lib[3].NumSV != 15792 {
+		t.Errorf("libSVM reference wrong: %+v", lib)
+	}
+	son := SONICReference()
+	if len(son) != 2 || son[0].LatencyUS != 2740000 {
+		t.Errorf("SONIC reference wrong: %+v", son)
+	}
+}
+
+// TestSectionIIISpeechClaim reproduces the paper's Section III
+// observation: a degree-2 polynomial SVM cannot reach reasonable
+// accuracy on the speech task, while a neural network performs well.
+func TestSectionIIISpeechClaim(t *testing.T) {
+	ds := dataset.Speech(3, 600, 200)
+	m, err := svm.Train(ds, svm.DefaultTrainConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	svmAcc := svm.Accuracy(m.Predict, ds.Test)
+	mlp, err := TrainMLP(ds, MLPConfig{Hidden: []int{32, 16}, Epochs: 60, LR: 0.01, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mlpAcc := MLPAccuracy(mlp, ds.Test)
+	if svmAcc > 0.65 {
+		t.Errorf("poly-2 SVM reached %.2f on the parity task; it should fail", svmAcc)
+	}
+	if mlpAcc < 0.9 {
+		t.Errorf("MLP reached only %.2f; neural networks should handle this task", mlpAcc)
+	}
+	t.Logf("speech: SVM %.3f vs MLP %.3f (paper: SVMs fail, networks succeed)", svmAcc, mlpAcc)
+}
+
+func TestTrainMLPBasics(t *testing.T) {
+	ds := dataset.Adult(9, 300, 100)
+	mlp, err := TrainMLP(ds, MLPConfig{Hidden: []int{16}, Epochs: 15, LR: 0.01, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := MLPAccuracy(mlp, ds.Test); acc < 0.6 {
+		t.Errorf("MLP accuracy %.2f on ADULT-syn below 0.6", acc)
+	}
+	if _, err := TrainMLP(&dataset.Set{}, MLPConfig{Hidden: []int{4}, Epochs: 1, LR: 0.1}); err == nil {
+		t.Errorf("empty set accepted")
+	}
+	if _, err := TrainMLP(ds, MLPConfig{Epochs: 0, LR: 0.1}); err == nil {
+		t.Errorf("zero epochs accepted")
+	}
+	if MLPAccuracy(mlp, nil) != 0 {
+		t.Errorf("accuracy of empty sample set should be 0")
+	}
+}

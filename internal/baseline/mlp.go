@@ -1,0 +1,185 @@
+package baseline
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"mouse/internal/dataset"
+)
+
+// MLP is a small full-precision neural network — the software reference
+// for the paper's Section III observation that neural networks handle
+// the speech workload where polynomial SVMs cannot (SONIC [29] runs a
+// full-precision DNN on its microcontroller). Tanh hidden layers,
+// softmax output, plain SGD.
+type MLP struct {
+	widths []int
+	w      [][][]float64 // [layer][neuron][input]
+	b      [][]float64
+}
+
+// MLPConfig controls training.
+type MLPConfig struct {
+	Hidden []int
+	Epochs int
+	LR     float64
+	Seed   int64
+}
+
+// TrainMLP fits the network on the training split.
+func TrainMLP(ds *dataset.Set, cfg MLPConfig) (*MLP, error) {
+	if len(ds.Train) == 0 {
+		return nil, fmt.Errorf("baseline: empty training set")
+	}
+	if cfg.Epochs <= 0 || cfg.LR <= 0 {
+		return nil, fmt.Errorf("baseline: bad MLP config %+v", cfg)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	widths := append([]int{ds.NumFeatures}, cfg.Hidden...)
+	widths = append(widths, ds.NumClasses)
+	m := &MLP{widths: widths}
+	for l := 0; l+1 < len(widths); l++ {
+		scale := 1 / math.Sqrt(float64(widths[l]))
+		wl := make([][]float64, widths[l+1])
+		for j := range wl {
+			row := make([]float64, widths[l])
+			for i := range row {
+				row[i] = rng.NormFloat64() * scale
+			}
+			wl[j] = row
+		}
+		m.w = append(m.w, wl)
+		m.b = append(m.b, make([]float64, widths[l+1]))
+	}
+
+	nLayers := len(m.w)
+	acts := make([][]float64, nLayers+1)
+	deltas := make([][]float64, nLayers)
+	for l := 0; l < nLayers; l++ {
+		acts[l+1] = make([]float64, widths[l+1])
+		deltas[l] = make([]float64, widths[l+1])
+	}
+	order := rng.Perm(len(ds.Train))
+
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for _, idx := range order {
+			s := ds.Train[idx]
+			in := make([]float64, len(s.X))
+			for i, v := range s.X {
+				in[i] = float64(v)/128 - 1
+			}
+			acts[0] = in
+			// Forward.
+			for l := 0; l < nLayers; l++ {
+				for j := 0; j < widths[l+1]; j++ {
+					z := m.b[l][j]
+					row := m.w[l][j]
+					prev := acts[l]
+					for i := range row {
+						z += row[i] * prev[i]
+					}
+					if l < nLayers-1 {
+						acts[l+1][j] = math.Tanh(z)
+					} else {
+						acts[l+1][j] = z
+					}
+				}
+			}
+			// Softmax cross-entropy gradient at the output.
+			out := acts[nLayers]
+			maxZ := out[0]
+			for _, z := range out {
+				if z > maxZ {
+					maxZ = z
+				}
+			}
+			sum := 0.0
+			d := deltas[nLayers-1]
+			for j, z := range out {
+				d[j] = math.Exp(z - maxZ)
+				sum += d[j]
+			}
+			for j := range d {
+				d[j] /= sum
+				if j == s.Label {
+					d[j] -= 1
+				}
+			}
+			// Backward.
+			for l := nLayers - 1; l >= 0; l-- {
+				d := deltas[l]
+				if l > 0 {
+					nd := deltas[l-1]
+					for i := range nd {
+						nd[i] = 0
+					}
+					for j, dj := range d {
+						row := m.w[l][j]
+						for i := range row {
+							nd[i] += dj * row[i]
+						}
+					}
+					for i := range nd {
+						a := acts[l][i]
+						nd[i] *= 1 - a*a // tanh'
+					}
+				}
+				prev := acts[l]
+				for j, dj := range d {
+					row := m.w[l][j]
+					for i := range row {
+						row[i] -= cfg.LR * dj * prev[i]
+					}
+					m.b[l][j] -= cfg.LR * dj
+				}
+			}
+		}
+	}
+	return m, nil
+}
+
+// Predict returns the argmax class for input x.
+func (m *MLP) Predict(x []int) int {
+	a := make([]float64, len(x))
+	for i, v := range x {
+		a[i] = float64(v)/128 - 1
+	}
+	for l := 0; l < len(m.w); l++ {
+		next := make([]float64, len(m.w[l]))
+		for j, row := range m.w[l] {
+			z := m.b[l][j]
+			for i := range row {
+				z += row[i] * a[i]
+			}
+			if l < len(m.w)-1 {
+				next[j] = math.Tanh(z)
+			} else {
+				next[j] = z
+			}
+		}
+		a = next
+	}
+	best := 0
+	for j, z := range a {
+		if z > a[best] {
+			best = j
+		}
+	}
+	return best
+}
+
+// MLPAccuracy evaluates the network over samples.
+func MLPAccuracy(m *MLP, samples []dataset.Sample) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	correct := 0
+	for _, s := range samples {
+		if m.Predict(s.X) == s.Label {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(samples))
+}

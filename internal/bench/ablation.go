@@ -1,0 +1,170 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"mouse/internal/energy"
+	"mouse/internal/fft"
+	"mouse/internal/isa"
+	"mouse/internal/mtj"
+	"mouse/internal/power"
+	"mouse/internal/sim"
+	"mouse/internal/workload"
+)
+
+// Ablations and analyses beyond the paper's tables: the design-choice
+// studies DESIGN.md calls out.
+
+// RobustnessRow is one gate's process-variation tolerance across the
+// three configurations.
+type RobustnessRow struct {
+	Gate      mtj.GateKind
+	ModernSTT float64
+	ProjSTT   float64
+	SHE       float64
+}
+
+// ComputeRobustness quantifies Section II-D's robustness claim: the
+// largest relative MTJ resistance variation each gate tolerates.
+func ComputeRobustness() []RobustnessRow {
+	var rows []RobustnessRow
+	for g := mtj.GateKind(0); g.Valid(); g++ {
+		rows = append(rows, RobustnessRow{
+			Gate:      g,
+			ModernSTT: mtj.VariationTolerance(g, mtj.ModernSTT()),
+			ProjSTT:   mtj.VariationTolerance(g, mtj.ProjectedSTT()),
+			SHE:       mtj.VariationTolerance(g, mtj.ProjectedSHE()),
+		})
+	}
+	return rows
+}
+
+// PrintRobustness renders the variation-tolerance study.
+func PrintRobustness(w io.Writer) {
+	fmt.Fprintln(w, "Robustness — tolerated MTJ resistance variation (±%), per gate (Section II-D)")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "gate\tModern STT\tProjected STT\tSHE")
+	for _, r := range ComputeRobustness() {
+		fmt.Fprintf(tw, "%s\t%.1f\t%.1f\t%.1f\n", r.Gate, r.ModernSTT*100, r.ProjSTT*100, r.SHE*100)
+	}
+	tw.Flush()
+	mt, mg := mtj.MinVariationTolerance(mtj.ModernSTT())
+	pt, pg := mtj.MinVariationTolerance(mtj.ProjectedSTT())
+	st, sg := mtj.MinVariationTolerance(mtj.ProjectedSHE())
+	fmt.Fprintf(w, "array-level limits: Modern %.1f%% (%v), Projected %.1f%% (%v), SHE %.1f%% (%v)\n",
+		mt*100, mg, pt*100, pg, st*100, sg)
+}
+
+// CheckpointRow is one point of the checkpoint-interval sweep.
+type CheckpointRow struct {
+	Interval int
+	energy.Breakdown
+}
+
+// ComputeCheckpointSweep runs a benchmark at 60 µW with checkpoint
+// intervals of 1 (MOUSE's design point), 8 and 64 instructions — the
+// frequency trade-off of Section IV-D.
+func ComputeCheckpointSweep(cfg *mtj.Config, benchmark string) ([]CheckpointRow, error) {
+	spec, err := workload.ByName(benchmark)
+	if err != nil {
+		return nil, err
+	}
+	r := sim.NewRunner(energy.NewModel(cfg))
+	var rows []CheckpointRow
+	for _, interval := range []int{1, 8, 64} {
+		h := power.NewHarvester(power.Constant{W: 60e-6}, cfg.CapC, cfg.CapVMin, cfg.CapVMax)
+		res, err := r.RunWithCheckpointInterval(spec.Stream(), h, interval)
+		if err != nil {
+			return nil, fmt.Errorf("interval %d: %w", interval, err)
+		}
+		rows = append(rows, CheckpointRow{Interval: interval, Breakdown: res.Breakdown})
+	}
+	return rows, nil
+}
+
+// PrintCheckpointSweep renders the checkpoint-interval ablation.
+func PrintCheckpointSweep(w io.Writer, cfg *mtj.Config, benchmark string) error {
+	rows, err := ComputeCheckpointSweep(cfg, benchmark)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "Checkpoint-interval ablation — %s, %s at 60 µW (Section IV-D trade-off)\n", benchmark, cfg.Name)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "interval\ttotal E (µJ)\tbackup (µJ)\tdead (µJ)\tlatency (s)\trestarts")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%d\t%.3f\t%.4f\t%.4f\t%.4g\t%d\n",
+			r.Interval, r.TotalEnergy()*1e6, r.BackupEnergy*1e6, r.DeadEnergy*1e6, r.TotalLatency(), r.Restarts)
+	}
+	return tw.Flush()
+}
+
+// PrintParallelism renders the power-budget parallelism limits
+// (Section IV-C: tuning power draw by adjusting parallelism).
+func PrintParallelism(w io.Writer) {
+	fmt.Fprintln(w, "Parallelism budget — max simultaneously active columns per buffer discharge (Section IV-C)")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "configuration\tno headroom\t2x headroom\tpeak power at that width")
+	for _, cfg := range mtj.Configs() {
+		m := energy.NewModel(cfg)
+		full := sim.MaxParallelColumns(m, 1.0)
+		half := sim.MaxParallelColumns(m, 2.0)
+		op := energy.Op{Kind: isa.KindLogic, Gate: mtj.NAND2, ActivePairs: full}
+		watts := m.Energy(op) / m.CycleTime()
+		fmt.Fprintf(tw, "%s\t%d cols\t%d cols\t%.3g W\n", cfg.Name, full, half, watts)
+	}
+	tw.Flush()
+}
+
+// FFTRow is one row of the related-work FFT comparison (Section X).
+type FFTRow struct {
+	System     string
+	LatencySec float64
+	EnergyJ    float64
+}
+
+// ComputeFFT runs the CRAFFT-style 1024-point FFT workload on each MOUSE
+// configuration under continuous power and lists the paper's reference
+// systems alongside.
+func ComputeFFT() ([]FFTRow, error) {
+	p := fft.MiBenchParams()
+	rows := []FFTRow{
+		{System: "NVP (THU1010N) [57]", LatencySec: fft.NVPLatency},
+		{System: "CRAFFT on CRAM [19]", LatencySec: fft.CRAFFTLatency},
+	}
+	for _, cfg := range mtj.Configs() {
+		s, err := fft.Stream(p)
+		if err != nil {
+			return nil, err
+		}
+		r := sim.NewRunner(energy.NewModel(cfg))
+		res := r.RunContinuous(s)
+		rows = append(rows, FFTRow{
+			System:     "MOUSE " + cfg.Name + " (intermittent-safe)",
+			LatencySec: res.OnLatency,
+			EnergyJ:    res.TotalEnergy(),
+		})
+	}
+	return rows, nil
+}
+
+// PrintFFT renders the FFT comparison.
+func PrintFFT(w io.Writer) error {
+	rows, err := ComputeFFT()
+	if err != nil {
+		return err
+	}
+	p := fft.MiBenchParams()
+	fmt.Fprintf(w, "Related-work FFT comparison — %s transform (Section X)\n", p)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "system\tlatency (ms)\tenergy (µJ)")
+	for _, r := range rows {
+		e := "-"
+		if r.EnergyJ > 0 {
+			e = fmt.Sprintf("%.2f", r.EnergyJ*1e6)
+		}
+		fmt.Fprintf(tw, "%s\t%.3f\t%s\n", r.System, r.LatencySec*1e3, e)
+	}
+	return tw.Flush()
+}

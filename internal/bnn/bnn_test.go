@@ -1,0 +1,169 @@
+package bnn
+
+import (
+	"math/rand"
+	"testing"
+
+	"mouse/internal/dataset"
+)
+
+// tinyBinSet builds a small binarized set matching a tiny network.
+func tinyBinSet(seed int64, features, classes, perClass int) *dataset.Set {
+	rng := rand.New(rand.NewSource(seed))
+	protos := make([][]int, classes)
+	for c := range protos {
+		p := make([]int, features)
+		for j := range p {
+			p[j] = rng.Intn(2)
+		}
+		protos[c] = p
+	}
+	s := &dataset.Set{Name: "tiny-bin", NumFeatures: features, NumClasses: classes}
+	emit := func(n int) []dataset.Sample {
+		var out []dataset.Sample
+		for c := 0; c < classes; c++ {
+			for i := 0; i < n; i++ {
+				x := make([]int, features)
+				copy(x, protos[c])
+				// Flip a couple of bits.
+				for f := 0; f < 2; f++ {
+					j := rng.Intn(features)
+					x[j] = 1 - x[j]
+				}
+				out = append(out, dataset.Sample{X: x, Label: c})
+			}
+		}
+		return out
+	}
+	s.Train = emit(perClass)
+	s.Test = emit(4)
+	return s
+}
+
+func tinyConfig(features, classes int) Config {
+	return Config{Name: "tiny", In: features, Hidden: []int{12, 8}, Out: classes, InputBits: 1}
+}
+
+func TestConfigs(t *testing.T) {
+	f := FINN()
+	if f.In != 784 || len(f.Hidden) != 3 || f.Hidden[0] != 1024 || f.Out != 10 || f.InputBits != 1 {
+		t.Errorf("FINN config wrong: %+v", f)
+	}
+	p := FPBNN()
+	if p.Hidden[0] != 2048 || p.InputBits != 8 {
+		t.Errorf("FP-BNN config wrong: %+v", p)
+	}
+	for _, c := range []Config{f, p} {
+		if err := c.Validate(); err != nil {
+			t.Errorf("%s: %v", c.Name, err)
+		}
+	}
+	bad := FINN()
+	bad.InputBits = 4
+	if err := bad.Validate(); err == nil {
+		t.Errorf("4-bit input accepted")
+	}
+	bad = FINN()
+	bad.Hidden = []int{0}
+	if err := bad.Validate(); err == nil {
+		t.Errorf("zero hidden width accepted")
+	}
+	w := FINN().Widths()
+	if len(w) != 5 || w[0] != 784 || w[4] != 10 {
+		t.Errorf("Widths = %v", w)
+	}
+}
+
+func TestTrainTinyBinarized(t *testing.T) {
+	ds := tinyBinSet(31, 16, 3, 30)
+	net, err := Train(ds, tinyConfig(16, 3), DefaultTrainConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := Accuracy(net, ds.Test)
+	if acc < 0.6 {
+		t.Errorf("tiny BNN accuracy %.2f below 0.6", acc)
+	}
+	t.Logf("tiny BNN accuracy %.3f", acc)
+}
+
+func TestTrain8BitFirstLayer(t *testing.T) {
+	ds := dataset.Adult(32, 200, 80)
+	cfg := Config{Name: "adult", In: 15, Hidden: []int{16}, Out: 2, InputBits: 8}
+	net, err := Train(ds, cfg, TrainConfig{Epochs: 20, LR: 0.01, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := Accuracy(net, ds.Test)
+	if acc < 0.55 {
+		t.Errorf("8-bit-input BNN accuracy %.2f below 0.55", acc)
+	}
+	t.Logf("8-bit BNN accuracy %.3f", acc)
+}
+
+func TestTrainRejectsMismatch(t *testing.T) {
+	ds := tinyBinSet(33, 16, 3, 5)
+	if _, err := Train(ds, tinyConfig(20, 3), DefaultTrainConfig()); err == nil {
+		t.Errorf("feature mismatch accepted")
+	}
+	if _, err := Train(&dataset.Set{NumFeatures: 16, NumClasses: 3}, tinyConfig(16, 3), DefaultTrainConfig()); err == nil {
+		t.Errorf("empty training set accepted")
+	}
+}
+
+func TestHiddenThresholdMatchesSign(t *testing.T) {
+	// The popcount-threshold form must agree with the signed
+	// pre-activation form for every possible popcount.
+	ds := tinyBinSet(34, 16, 3, 10)
+	net, err := Train(ds, tinyConfig(16, 3), DefaultTrainConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for l := 0; l < len(net.Layers)-1; l++ {
+		for j := range net.Layers[l].W {
+			nin := len(net.Layers[l].W[j])
+			thr := net.HiddenThreshold(l, j)
+			for p := 0; p <= nin; p++ {
+				z := 2*p - nin + net.Layers[l].Bias[j]
+				signForm := z >= 0
+				thrForm := p >= thr
+				if signForm != thrForm {
+					t.Fatalf("layer %d neuron %d popcount %d: sign %v, threshold %v", l, j, p, signForm, thrForm)
+				}
+			}
+		}
+	}
+}
+
+func TestScoreFromPop(t *testing.T) {
+	net := &Network{
+		Cfg: Config{In: 4, Out: 1, InputBits: 1},
+		Layers: []Layer{{
+			W:    [][]uint8{{1, 1, 0, 0}},
+			Bias: []int{3},
+		}},
+	}
+	// popcount 3 of 4 inputs: score = 2·3 − 4 + 3 = 5.
+	if got := net.ScoreFromPop(0, 3); got != 5 {
+		t.Errorf("ScoreFromPop = %d, want 5", got)
+	}
+}
+
+func TestGoldenInferenceDeterministic(t *testing.T) {
+	ds := tinyBinSet(35, 16, 3, 10)
+	net, err := Train(ds, tinyConfig(16, 3), DefaultTrainConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := ds.Test[0].X
+	a := net.Scores(x)
+	b := net.Scores(x)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("non-deterministic scores")
+		}
+	}
+	if len(a) != 3 {
+		t.Fatalf("score count %d", len(a))
+	}
+}

@@ -1,0 +1,72 @@
+package bnn
+
+import (
+	"fmt"
+
+	"mouse/internal/array"
+	"mouse/internal/controller"
+	"mouse/internal/mtj"
+)
+
+// High-level classification helpers for the column-local batch mapping.
+
+// NewMachine allocates a functional machine sized for the mapping's
+// batch width.
+func (m *Mapping) NewMachine(cfg *mtj.Config, rows int) *array.Machine {
+	return array.NewMachine(cfg, 1, rows, m.Columns)
+}
+
+// LoadInputs writes one sample per column (up to the batch width).
+func (m *Mapping) LoadInputs(mach *array.Machine, net *Network, samples [][]int) error {
+	if len(samples) > m.Columns {
+		return fmt.Errorf("bnn: %d samples exceed the batch width %d", len(samples), m.Columns)
+	}
+	for col, x := range samples {
+		if net.Cfg.InputBits == 1 {
+			if len(x) != len(m.InputRows) {
+				return fmt.Errorf("bnn: sample %d has %d features, mapping expects %d", col, len(x), len(m.InputRows))
+			}
+			for i, row := range m.InputRows {
+				mach.Tiles[0].SetBit(row, col, x[i])
+			}
+			continue
+		}
+		if len(x) != len(m.InputWordRows) {
+			return fmt.Errorf("bnn: sample %d has %d features, mapping expects %d", col, len(x), len(m.InputWordRows))
+		}
+		for i, rows := range m.InputWordRows {
+			for bi, row := range rows {
+				mach.Tiles[0].SetBit(row, col, (x[i]>>bi)&1)
+			}
+		}
+	}
+	return nil
+}
+
+// ClassifyBatch runs one pass and returns the predicted class of each
+// loaded sample.
+func (m *Mapping) ClassifyBatch(mach *array.Machine, net *Network, samples [][]int) ([]int, error) {
+	if err := m.LoadInputs(mach, net, samples); err != nil {
+		return nil, err
+	}
+	c := controller.New(controller.ProgramStore(m.Prog), mach)
+	if err := c.Run(); err != nil {
+		return nil, err
+	}
+	out := make([]int, len(samples))
+	for col := range samples {
+		best, bestScore := 0, 0
+		for class, rows := range m.PopRows {
+			bits := make([]int, len(rows))
+			for i, row := range rows {
+				bits[i] = mach.Tiles[0].Bit(row, col)
+			}
+			score := net.ScoreFromPop(class, m.PopFromBits(bits))
+			if class == 0 || score > bestScore {
+				best, bestScore = class, score
+			}
+		}
+		out[col] = best
+	}
+	return out, nil
+}

@@ -1,0 +1,194 @@
+package bnn
+
+import (
+	"fmt"
+
+	"mouse/internal/compile"
+	"mouse/internal/isa"
+)
+
+// Mapping is a compiled BNN inference program. Weights are compile-time
+// constants, so the XNOR multiply folds away entirely: weight +1 passes
+// the activation through and weight −1 inverts it (a single NOT gate) —
+// the instruction stream *is* the model, preloaded into the instruction
+// tiles before deployment (Section IV-B). Each active column processes
+// an independent input (batch parallelism across columns); the host
+// reads column b's popcount words as sample b's class scores.
+type Mapping struct {
+	Prog isa.Program
+
+	// InputRows[i] is the row holding input bit i (load per column;
+	// binarized-input networks).
+	InputRows []int
+
+	// InputWordRows[i] lists the rows (LSB first) holding 8-bit input
+	// feature i (8-bit-input networks).
+	InputWordRows [][]int
+
+	// PopRows[c] lists the rows (LSB first) of output class c's XNOR
+	// popcount; convert with Network.ScoreFromPop.
+	PopRows [][]int
+
+	// Columns is the batch width the program activates.
+	Columns int
+
+	// Gates is the logic-gate count of one inference pass.
+	Gates int
+}
+
+// CompileMapping compiles the network for tiles with the given row
+// count, processing batchCols inputs per pass. Binarized inputs occupy
+// one row per feature; 8-bit inputs (the FP-BNN first layer) occupy
+// eight rows per feature, and the first layer becomes a chain of signed
+// adds and subtracts selected by the compile-time weight signs.
+func CompileMapping(n *Network, rows, batchCols int) (*Mapping, error) {
+	if len(n.Layers) == 0 {
+		return nil, fmt.Errorf("bnn: empty network")
+	}
+	if n.Cfg.InputBits == 8 && len(n.Layers) < 2 {
+		return nil, fmt.Errorf("bnn: an 8-bit-input network needs at least one hidden layer")
+	}
+	if batchCols < 1 || batchCols > isa.Cols {
+		return nil, fmt.Errorf("bnn: batch width %d out of range", batchCols)
+	}
+
+	b := compile.NewBuilder(rows)
+	cols := make([]uint16, batchCols)
+	for i := range cols {
+		cols[i] = uint16(i)
+	}
+	b.ActivateBroadcast(cols)
+
+	m := &Mapping{Columns: batchCols}
+	var acts []compile.Bit
+	var inputWords []compile.Word
+	if n.Cfg.InputBits == 1 {
+		// Input activations, loaded externally (one bit per row).
+		acts = make([]compile.Bit, n.Cfg.In)
+		for i := range acts {
+			acts[i] = b.Alloc(i & 1)
+		}
+		for _, bit := range acts {
+			m.InputRows = append(m.InputRows, bit.Row)
+		}
+	} else {
+		// 8-bit inputs: one word per feature.
+		inputWords = make([]compile.Word, n.Cfg.In)
+		for i := range inputWords {
+			inputWords[i] = b.AllocWord(n.Cfg.InputBits, i&1)
+			rows := make([]int, len(inputWords[i]))
+			for bi, bit := range inputWords[i] {
+				rows[bi] = bit.Row
+			}
+			m.InputWordRows = append(m.InputWordRows, rows)
+		}
+		var err error
+		acts, err = compileFirstLayer8(b, n, inputWords)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	startLayer := 0
+	if n.Cfg.InputBits == 8 {
+		startLayer = 1
+	}
+	for l := startLayer; l < len(n.Layers); l++ {
+		layer := &n.Layers[l]
+		last := l == len(n.Layers)-1
+		var nextActs []compile.Bit
+		for j := range layer.W {
+			// Constant-folded XNOR: +1 weights pass through, −1 weights
+			// invert.
+			terms := make([]compile.Bit, len(layer.W[j]))
+			var inverted []compile.Bit
+			for i, w := range layer.W[j] {
+				if w == 1 {
+					terms[i] = acts[i]
+				} else {
+					inv := b.NOT(acts[i])
+					terms[i] = inv
+					inverted = append(inverted, inv)
+				}
+			}
+			pop := b.PopCount(terms)
+			b.Free(inverted...)
+			if last {
+				m.PopRows = append(m.PopRows, popRows(pop))
+				continue // keep the popcount rows live as outputs
+			}
+			t := n.HiddenThreshold(l, j)
+			var a compile.Bit
+			if t > (1<<pop.Len())-1 {
+				// The threshold exceeds any representable popcount: the
+				// neuron can never fire.
+				a = b.Const(0, 0)
+			} else {
+				thr := b.ConstWord(uint64(t), pop.Len(), 1-pop[0].Parity())
+				a = b.GreaterEq(pop, thr)
+				b.FreeWord(thr)
+			}
+			b.FreeWord(pop)
+			nextActs = append(nextActs, a)
+		}
+		if !last {
+			if l > 0 {
+				b.Free(acts...) // inputs of layer l die once layer l+1's are ready
+			}
+			acts = nextActs
+		}
+	}
+
+	prog, err := b.Program()
+	if err != nil {
+		return nil, err
+	}
+	m.Prog = prog
+	m.Gates = b.GateCount()
+	return m, nil
+}
+
+// compileFirstLayer8 emits the FP-BNN first layer: neuron j's
+// pre-activation is bias_j plus the signed sum of the 8-bit inputs, each
+// added or subtracted according to its compile-time weight bit; the
+// activation is the pre-activation's sign. No multiplier is ever built —
+// binary weights turn the layer into an add/subtract chain (Section III).
+func compileFirstLayer8(b *compile.Builder, n *Network, x []compile.Word) ([]compile.Bit, error) {
+	layer := &n.Layers[0]
+	nIn := len(layer.W[0])
+	width := n.Cfg.InputBits + 2
+	for v := 1; v < nIn; v <<= 1 {
+		width++
+	}
+	var acts []compile.Bit
+	for j := range layer.W {
+		acc := b.ConstWord(uint64(int64(layer.Bias[j])), width, 0)
+		for i, wbit := range layer.W[j] {
+			next := b.AddFixed(acc, x[i], wbit == 0)
+			b.FreeWord(acc)
+			acc = next
+		}
+		// Activation: pre-activation ≥ 0 ⟺ sign bit clear.
+		a := b.NOT(acc[width-1])
+		b.FreeWord(acc)
+		acts = append(acts, a)
+	}
+	return acts, b.Err()
+}
+
+func popRows(w compile.Word) []int {
+	rows := make([]int, len(w))
+	for i, bit := range w {
+		rows[i] = bit.Row
+	}
+	return rows
+}
+
+// PopFromBits decodes a popcount read from the mapped rows.
+func (m *Mapping) PopFromBits(bits []int) int {
+	v := 0
+	for i, bit := range bits {
+		v |= (bit & 1) << i
+	}
+	return v
+}

@@ -1,0 +1,164 @@
+package bnn
+
+import (
+	"testing"
+
+	"mouse/internal/array"
+	"mouse/internal/controller"
+	"mouse/internal/dataset"
+	"mouse/internal/mtj"
+)
+
+// TestMappingMatchesGoldenModel runs the compiled BNN program gate by
+// gate on the functional array, a batch of inputs across columns, and
+// requires bit-identical scores to the integer golden model.
+func TestMappingMatchesGoldenModel(t *testing.T) {
+	ds := tinyBinSet(41, 16, 3, 20)
+	net, err := Train(ds, tinyConfig(16, 3), DefaultTrainConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const batch = 4
+	mp, err := CompileMapping(net, 1024, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("compiled BNN: %d instructions, %d gates", len(mp.Prog), mp.Gates)
+
+	mach := array.NewMachine(mtj.ModernSTT(), 1, 1024, batch)
+	samples := ds.Test[:batch]
+	for col, s := range samples {
+		for i, row := range mp.InputRows {
+			mach.Tiles[0].SetBit(row, col, s.X[i])
+		}
+	}
+	c := controller.New(controller.ProgramStore(mp.Prog), mach)
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for col, s := range samples {
+		want := net.Scores(s.X)
+		for class, rows := range mp.PopRows {
+			bits := make([]int, len(rows))
+			for i, row := range rows {
+				bits[i] = mach.Tiles[0].Bit(row, col)
+			}
+			got := net.ScoreFromPop(class, mp.PopFromBits(bits))
+			if got != want[class] {
+				t.Errorf("sample %d class %d: score %d, want %d", col, class, got, want[class])
+			}
+		}
+	}
+}
+
+func TestCompileMappingErrors(t *testing.T) {
+	ds := tinyBinSet(42, 16, 3, 5)
+	net, err := Train(ds, tinyConfig(16, 3), DefaultTrainConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CompileMapping(net, 1024, 0); err == nil {
+		t.Errorf("zero batch accepted")
+	}
+	if _, err := CompileMapping(net, 16, 4); err == nil {
+		t.Errorf("tiny row budget accepted")
+	}
+	if _, err := CompileMapping(&Network{Cfg: Config{InputBits: 1}}, 1024, 1); err == nil {
+		t.Errorf("empty network accepted")
+	}
+	eight := &Network{Cfg: Config{In: 4, Out: 2, InputBits: 8}, Layers: make([]Layer, 1)}
+	if _, err := CompileMapping(eight, 1024, 1); err == nil {
+		t.Errorf("8-bit-input functional mapping accepted")
+	}
+}
+
+// TestMapping8BitFirstLayer verifies the FP-BNN-style mapping: 8-bit
+// inputs enter through a signed add/subtract first layer (weights folded
+// into the instruction stream), then binary layers as usual — matching
+// the golden model exactly.
+func TestMapping8BitFirstLayer(t *testing.T) {
+	ds := dataset.Adult(51, 150, 40)
+	cfg := Config{Name: "adult8", In: 15, Hidden: []int{10}, Out: 2, InputBits: 8}
+	net, err := Train(ds, cfg, TrainConfig{Epochs: 12, LR: 0.01, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const batch = 3
+	mp, err := CompileMapping(net, 1024, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mp.InputWordRows) != 15 || len(mp.InputRows) != 0 {
+		t.Fatalf("input layout wrong: %d words, %d bits", len(mp.InputWordRows), len(mp.InputRows))
+	}
+	t.Logf("8-bit mapping: %d instructions, %d gates", len(mp.Prog), mp.Gates)
+
+	mach := array.NewMachine(mtj.ModernSTT(), 1, 1024, batch)
+	samples := ds.Test[:batch]
+	for col, s := range samples {
+		for i, rows := range mp.InputWordRows {
+			for bi, row := range rows {
+				mach.Tiles[0].SetBit(row, col, (s.X[i]>>bi)&1)
+			}
+		}
+	}
+	c := controller.New(controller.ProgramStore(mp.Prog), mach)
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for col, s := range samples {
+		want := net.Scores(s.X)
+		for class, rows := range mp.PopRows {
+			bits := make([]int, len(rows))
+			for i, row := range rows {
+				bits[i] = mach.Tiles[0].Bit(row, col)
+			}
+			got := net.ScoreFromPop(class, mp.PopFromBits(bits))
+			if got != want[class] {
+				t.Errorf("sample %d class %d: score %d, want %d", col, class, got, want[class])
+			}
+		}
+	}
+}
+
+func TestMapping8BitNeedsHiddenLayer(t *testing.T) {
+	single := &Network{
+		Cfg:    Config{In: 4, Out: 2, InputBits: 8},
+		Layers: []Layer{{W: [][]uint8{{1, 0, 1, 0}, {0, 1, 0, 1}}, Bias: []int{0, 0}}},
+	}
+	if _, err := CompileMapping(single, 1024, 1); err == nil {
+		t.Errorf("single-layer 8-bit network accepted")
+	}
+}
+
+func TestClassifyBatchHelper(t *testing.T) {
+	ds := tinyBinSet(52, 16, 3, 15)
+	net, err := Train(ds, tinyConfig(16, 3), DefaultTrainConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mp, err := CompileMapping(net, 1024, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mach := mp.NewMachine(mtj.ModernSTT(), 1024)
+	samples := make([][]int, 4)
+	for i := range samples {
+		samples[i] = ds.Test[i].X
+	}
+	got, err := mp.ClassifyBatch(mach, net, samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, x := range samples {
+		if want := net.Predict(x); got[i] != want {
+			t.Errorf("sample %d: %d, want %d", i, got[i], want)
+		}
+	}
+	if _, err := mp.ClassifyBatch(mach, net, make([][]int, 99)); err == nil {
+		t.Errorf("oversized batch accepted")
+	}
+	if _, err := mp.ClassifyBatch(mach, net, [][]int{{1}}); err == nil {
+		t.Errorf("short sample accepted")
+	}
+}

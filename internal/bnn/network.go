@@ -1,0 +1,180 @@
+// Package bnn implements the binary neural networks of the paper's case
+// studies (Section III): networks with single-bit neurons and weights,
+// where multiplication becomes XNOR and accumulation becomes popcount.
+// The two evaluated configurations mirror FINN (binarized 28×28 input,
+// three hidden layers of 1024 neurons, 10 outputs) and FP-BNN (8-bit
+// input, three hidden layers of 2048 neurons, 10 outputs).
+//
+// Training uses the straight-through estimator of Courbariaux et al.
+// (float shadow weights, binarized forward pass); inference is exact
+// integer arithmetic — the golden model the compiled MOUSE program is
+// verified against bit for bit.
+package bnn
+
+import (
+	"fmt"
+	"math"
+
+	"mouse/internal/dataset"
+)
+
+// Config describes a network topology.
+type Config struct {
+	Name string
+	// In is the input feature count.
+	In int
+	// Hidden lists the hidden layer widths.
+	Hidden []int
+	// Out is the number of output classes.
+	Out int
+	// InputBits is 1 for binarized input (multiplications become XNOR/AND)
+	// or 8 for integer input (the FP-BNN first layer adds/subtracts
+	// 8-bit values by weight sign).
+	InputBits int
+}
+
+// FINN returns the paper's FINN-derived MNIST configuration.
+func FINN() Config {
+	return Config{Name: "FINN", In: 784, Hidden: []int{1024, 1024, 1024}, Out: 10, InputBits: 1}
+}
+
+// FPBNN returns the paper's FP-BNN-derived MNIST configuration.
+func FPBNN() Config {
+	return Config{Name: "FP-BNN", In: 784, Hidden: []int{2048, 2048, 2048}, Out: 10, InputBits: 8}
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.In <= 0 || c.Out <= 0 {
+		return fmt.Errorf("bnn: bad dimensions in=%d out=%d", c.In, c.Out)
+	}
+	for _, h := range c.Hidden {
+		if h <= 0 {
+			return fmt.Errorf("bnn: bad hidden width %d", h)
+		}
+	}
+	if c.InputBits != 1 && c.InputBits != 8 {
+		return fmt.Errorf("bnn: input width %d must be 1 or 8", c.InputBits)
+	}
+	return nil
+}
+
+// Widths returns the layer widths from input to output.
+func (c Config) Widths() []int {
+	w := []int{c.In}
+	w = append(w, c.Hidden...)
+	return append(w, c.Out)
+}
+
+// Layer is one trained binary layer: weight bit 1 encodes +1 and bit 0
+// encodes −1; Bias is the integer batch-norm-folded bias added to the
+// ±1 pre-activation sum.
+type Layer struct {
+	// W[j][i] is the weight bit from input i to neuron j.
+	W [][]uint8
+	// Bias[j] is the integer bias of neuron j.
+	Bias []int
+}
+
+// Network is a trained BNN in its exact integer inference form.
+type Network struct {
+	Cfg    Config
+	Layers []Layer
+}
+
+// signedInput maps a stored feature to its signed value: binarized
+// features 0/1 become −1/+1; 8-bit features are used as-is.
+func (n *Network) signedInput(v int) int {
+	if n.Cfg.InputBits == 1 {
+		return 2*v - 1
+	}
+	return v
+}
+
+// preActs returns layer l's integer pre-activations (Σ±a + bias) given
+// the previous layer's signed activations.
+func preActs(layer *Layer, a []int) []int {
+	out := make([]int, len(layer.W))
+	for j, w := range layer.W {
+		z := layer.Bias[j]
+		for i, bit := range w {
+			if bit == 1 {
+				z += a[i]
+			} else {
+				z -= a[i]
+			}
+		}
+		out[j] = z
+	}
+	return out
+}
+
+// Scores returns the integer class scores for input x.
+func (n *Network) Scores(x []int) []int {
+	a := make([]int, len(x))
+	for i, v := range x {
+		a[i] = n.signedInput(v)
+	}
+	for l := 0; l < len(n.Layers)-1; l++ {
+		z := preActs(&n.Layers[l], a)
+		a = a[:0]
+		for _, v := range z {
+			if v >= 0 {
+				a = append(a, 1)
+			} else {
+				a = append(a, -1)
+			}
+		}
+	}
+	return preActs(&n.Layers[len(n.Layers)-1], a)
+}
+
+// Predict returns the class with the highest score.
+func (n *Network) Predict(x []int) int {
+	scores := n.Scores(x)
+	best := 0
+	for c, s := range scores {
+		if s > scores[best] {
+			best = c
+		}
+	}
+	return best
+}
+
+// HiddenThreshold returns the popcount threshold form of hidden layer l,
+// neuron j: with ±1 inputs, z = 2p − n + bias ≥ 0 ⟺ p ≥ ⌈(n−bias)/2⌉,
+// where p is the popcount of XNOR(activations, weights). This is the
+// form the hardware mapping executes.
+func (n *Network) HiddenThreshold(l, j int) int {
+	layer := &n.Layers[l]
+	nin := len(layer.W[j])
+	t := int(math.Ceil(float64(nin-layer.Bias[j]) / 2))
+	if t < 0 {
+		t = 0
+	}
+	if t > nin+1 {
+		t = nin + 1
+	}
+	return t
+}
+
+// ScoreFromPop reconstructs output neuron j's integer score from the
+// XNOR popcount p the hardware computes: score = 2p − n + bias.
+func (n *Network) ScoreFromPop(j, p int) int {
+	layer := &n.Layers[len(n.Layers)-1]
+	return 2*p - len(layer.W[j]) + layer.Bias[j]
+}
+
+// Accuracy evaluates the network over samples.
+func Accuracy(n *Network, samples []dataset.Sample) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	correct := 0
+	for _, s := range samples {
+		if n.Predict(s.X) == s.Label {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(samples))
+}

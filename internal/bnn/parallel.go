@@ -1,0 +1,190 @@
+package bnn
+
+import (
+	"fmt"
+
+	"mouse/internal/compile"
+	"mouse/internal/isa"
+	"mouse/internal/mtj"
+)
+
+// Layer-parallel mapping: one neuron per column (Section VI's
+// column-level parallelism), instead of one whole network per column.
+// This is the mapping the paper-scale workload model assumes, realized
+// functionally:
+//
+//   - Activations are stored *diagonally*: column c's row q_d holds
+//     activation a_{(c+d) mod W}. A single read plus W rotated writes
+//     then gives every column the entire activation vector of the
+//     previous layer — the only horizontal datapath MOUSE has.
+//   - Weights are preloaded per column in the matching diagonal order
+//     (column c's weight row w_d holds W[c][(c+d) mod W]), so one
+//     uniform XNOR instruction multiplies the right pair everywhere.
+//   - All layers are padded to a common width W: dead inputs carry
+//     weight 0 against a constant-0 activation, contributing exactly one
+//     XNOR hit each, which the thresholds absorb.
+//
+// ParallelMapping must run on a machine whose tiles are exactly Width
+// columns wide, so the write rotation wraps at the layer width.
+type ParallelMapping struct {
+	Prog isa.Program
+
+	// Width is the padded uniform layer width (= required tile width).
+	Width int
+
+	// InputDiag[d] is the row that must hold x_{(c+d) mod Width} in
+	// column c before the run (use LoadInput).
+	InputDiag []int
+
+	// PopRows lists the output popcount word's rows (LSB first); read
+	// them in column j for output neuron j, and convert with Score.
+	PopRows []int
+
+	// Gates is the logic-gate count of one inference.
+	Gates int
+
+	net *Network
+}
+
+// CompileParallel compiles the network in the layer-parallel mapping for
+// tiles with the given row count. Requires a binarized-input network.
+func (n *Network) CompileParallel(rows int) (*ParallelMapping, error) {
+	if n.Cfg.InputBits != 1 {
+		return nil, fmt.Errorf("bnn: parallel mapping requires binarized input")
+	}
+	if len(n.Layers) == 0 {
+		return nil, fmt.Errorf("bnn: empty network")
+	}
+	width := n.Cfg.In
+	for _, w := range n.Cfg.Widths() {
+		if w > width {
+			width = w
+		}
+	}
+	if width > isa.Cols {
+		return nil, fmt.Errorf("bnn: padded width %d exceeds the column count", width)
+	}
+
+	b := compile.NewBuilder(rows)
+	b.Emit(isa.ActRange(true, 0, 0, width, 1))
+
+	// Diagonal activation rows for the current layer's input.
+	actDiag := b.AllocWord(width, 0)
+	m := &ParallelMapping{Width: width, net: n}
+	for _, bit := range actDiag {
+		m.InputDiag = append(m.InputDiag, bit.Row)
+	}
+
+	// Weight and threshold data rows, reused across layers (re-preset
+	// per layer).
+	wDiag := b.AllocWord(width, 0)
+
+	var pop compile.Word
+	for l := range n.Layers {
+		layer := &n.Layers[l]
+		nIn := len(layer.W[0])
+		nOut := len(layer.W)
+		last := l == len(n.Layers)-1
+
+		// Preload this layer's weights in diagonal order, one column at
+		// a time (static data, written before the uniform compute).
+		for c := 0; c < width; c++ {
+			b.ActivateBroadcast([]uint16{uint16(c)})
+			for d := 0; d < width; d++ {
+				i := (c + d) % width
+				bit := 0
+				if c < nOut && i < nIn && layer.W[c][i] == 1 {
+					bit = 1
+				}
+				b.Emit(isa.Preset(wDiag[d].Row, mtj.FromBit(bit)))
+			}
+		}
+		b.Emit(isa.ActRange(true, 0, 0, width, 1))
+
+		// XNOR terms and tree popcount, uniform across columns.
+		terms := make([]compile.Bit, width)
+		for d := 0; d < width; d++ {
+			terms[d] = b.XNOR(actDiag[d], wDiag[d])
+		}
+		if pop != nil {
+			b.FreeWord(pop)
+		}
+		pop = b.PopCount(terms)
+		for _, t := range terms {
+			b.Free(t)
+		}
+		if last {
+			break
+		}
+
+		// Per-neuron thresholds (plus the dead-input correction), as
+		// per-column data.
+		thr := b.AllocWord(pop.Len(), 1-pop[0].Parity())
+		maxThr := uint64(1<<pop.Len() - 1)
+		for c := 0; c < width; c++ {
+			b.ActivateBroadcast([]uint16{uint16(c)})
+			t := maxThr // dead neuron: never fires
+			if c < nOut {
+				t = uint64(n.HiddenThreshold(l, c) + deadHits(layer, c, width))
+				if t > maxThr {
+					t = maxThr
+				}
+			}
+			for i, bit := range thr {
+				b.Emit(isa.Preset(bit.Row, mtj.FromBit(int(t>>i)&1)))
+			}
+		}
+		b.Emit(isa.ActRange(true, 0, 0, width, 1))
+		a := b.GreaterEq(pop, thr)
+		b.FreeWord(thr)
+
+		// Redistribute: column c's bit a_c fans out diagonally into the
+		// next layer's activation rows via rotated writes.
+		for d := 0; d < width; d++ {
+			b.Emit(isa.Read(0, a.Row))
+			b.Emit(isa.WriteRot(0, actDiag[d].Row, (width-d)%width))
+		}
+		b.Free(a)
+	}
+
+	prog, err := b.Program()
+	if err != nil {
+		return nil, err
+	}
+	m.Prog = prog
+	m.Gates = b.GateCount()
+	for _, bit := range pop {
+		m.PopRows = append(m.PopRows, bit.Row)
+	}
+	return m, nil
+}
+
+// deadHits counts the padded inputs that contribute a guaranteed XNOR
+// hit to every neuron of the layer: activation 0 against weight 0.
+func deadHits(layer *Layer, neuron, width int) int {
+	return width - len(layer.W[neuron])
+}
+
+// LoadInput places the binarized sample diagonally into column c, row
+// InputDiag[d] ← x_{(c+d) mod Width} (zero beyond the real input width).
+func (m *ParallelMapping) LoadInput(set func(row, col, bit int), x []int) {
+	for c := 0; c < m.Width; c++ {
+		for d, row := range m.InputDiag {
+			i := (c + d) % m.Width
+			bit := 0
+			if i < len(x) {
+				bit = x[i]
+			}
+			set(row, c, bit)
+		}
+	}
+}
+
+// Score converts output neuron j's popcount (read from column j's
+// PopRows) into the integer class score, correcting for the padded
+// dead-input hits.
+func (m *ParallelMapping) Score(j, popValue int) int {
+	out := &m.net.Layers[len(m.net.Layers)-1]
+	real := popValue - deadHits(out, j, m.Width)
+	return m.net.ScoreFromPop(j, real)
+}

@@ -1,0 +1,155 @@
+package bnn
+
+import (
+	"testing"
+
+	"mouse/internal/array"
+	"mouse/internal/controller"
+	"mouse/internal/mtj"
+	"mouse/internal/power"
+	"mouse/internal/sim"
+)
+
+// TestParallelMappingMatchesGolden verifies the layer-parallel mapping
+// (neuron per column, diagonal layout, rotated-write redistribution)
+// bit-for-bit against the integer golden model.
+func TestParallelMappingMatchesGolden(t *testing.T) {
+	ds := tinyBinSet(61, 16, 3, 20)
+	net, err := Train(ds, tinyConfig(16, 3), DefaultTrainConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mp, err := net.CompileParallel(512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mp.Width != 16 {
+		t.Fatalf("padded width %d, want 16", mp.Width)
+	}
+	t.Logf("layer-parallel BNN: %d instructions, %d gates", len(mp.Prog), mp.Gates)
+
+	mach := array.NewMachine(mtj.ModernSTT(), 1, 512, mp.Width)
+	for _, s := range ds.Test[:4] {
+		mp.LoadInput(func(row, col, bit int) {
+			mach.Tiles[0].SetBit(row, col, bit)
+		}, s.X)
+		c := controller.New(controller.ProgramStore(mp.Prog), mach)
+		if err := c.Run(); err != nil {
+			t.Fatal(err)
+		}
+		want := net.Scores(s.X)
+		for j := 0; j < net.Cfg.Out; j++ {
+			bits := make([]int, len(mp.PopRows))
+			for i, row := range mp.PopRows {
+				bits[i] = mach.Tiles[0].Bit(row, j)
+			}
+			pop := 0
+			for i, b := range bits {
+				pop |= b << i
+			}
+			if got := mp.Score(j, pop); got != want[j] {
+				t.Errorf("class %d: parallel mapping score %d, want %d", j, got, want[j])
+			}
+		}
+	}
+}
+
+// TestParallelMappingSurvivesOutages runs the layer-parallel program —
+// whose correctness depends on rotated read/write pairs spanning
+// checkpoints — under a starved supply and compares against continuous
+// power.
+func TestParallelMappingSurvivesOutages(t *testing.T) {
+	ds := tinyBinSet(62, 16, 3, 10)
+	net, err := Train(ds, tinyConfig(16, 3), DefaultTrainConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mp, err := net.CompileParallel(512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := ds.Test[0].X
+
+	runOnce := func(h *power.Harvester) ([]int, uint64) {
+		mach := array.NewMachine(mtj.ModernSTT(), 1, 512, mp.Width)
+		mp.LoadInput(func(row, col, bit int) { mach.Tiles[0].SetBit(row, col, bit) }, x)
+		c := controller.New(controller.ProgramStore(mp.Prog), mach)
+		res, err := sim.NewMachineRunner(c).Run(h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scores := make([]int, net.Cfg.Out)
+		for j := range scores {
+			pop := 0
+			for i, row := range mp.PopRows {
+				pop |= mach.Tiles[0].Bit(row, j) << i
+			}
+			scores[j] = mp.Score(j, pop)
+		}
+		return scores, res.Restarts
+	}
+
+	want, _ := runOnce(nil)
+	cfg := mtj.ModernSTT()
+	got, restarts := runOnce(power.NewHarvester(power.Constant{W: 2e-6}, 4e-9, cfg.CapVMin, cfg.CapVMax))
+	if restarts == 0 {
+		t.Fatalf("starved run saw no outages")
+	}
+	for j := range want {
+		if got[j] != want[j] {
+			t.Fatalf("class %d diverged under outages: %d vs %d (restarts=%d)", j, got[j], want[j], restarts)
+		}
+	}
+	golden := net.Scores(x)
+	for j := range golden {
+		if got[j] != golden[j] {
+			t.Fatalf("class %d: %d vs golden %d", j, got[j], golden[j])
+		}
+	}
+}
+
+func TestCompileParallelValidates(t *testing.T) {
+	if _, err := (&Network{Cfg: Config{InputBits: 8}}).CompileParallel(512); err == nil {
+		t.Errorf("8-bit input accepted")
+	}
+	if _, err := (&Network{Cfg: Config{InputBits: 1}}).CompileParallel(512); err == nil {
+		t.Errorf("empty network accepted")
+	}
+	ds := tinyBinSet(63, 16, 3, 5)
+	net, err := Train(ds, tinyConfig(16, 3), DefaultTrainConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.CompileParallel(24); err == nil {
+		t.Errorf("tiny row budget accepted")
+	}
+}
+
+// TestParallelBeatsColumnLocal quantifies the Section VI trade-off the
+// workload model assumes: the layer-parallel mapping needs far fewer
+// instructions (lower latency) than the column-local mapping, at the
+// price of more active columns per instruction (higher power).
+func TestParallelBeatsColumnLocal(t *testing.T) {
+	ds := tinyBinSet(64, 16, 3, 10)
+	net, err := Train(ds, tinyConfig(16, 3), DefaultTrainConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := net.CompileParallel(512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := CompileMapping(net, 1024, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Even at this toy width the gap is ~3.5×; it grows with layer width
+	// since the parallel mapping's instruction count is independent of
+	// the neuron count (up to the column budget).
+	if len(par.Prog)*2 > len(local.Prog) {
+		t.Errorf("parallel mapping %d instructions not ≥2× below column-local %d",
+			len(par.Prog), len(local.Prog))
+	}
+	t.Logf("instructions: parallel %d vs column-local %d (%.0fx)",
+		len(par.Prog), len(local.Prog), float64(len(local.Prog))/float64(len(par.Prog)))
+}

@@ -1,0 +1,209 @@
+package bnn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"mouse/internal/dataset"
+)
+
+// TrainConfig controls the straight-through-estimator trainer.
+type TrainConfig struct {
+	Epochs int
+	LR     float64
+	Seed   int64
+}
+
+// DefaultTrainConfig returns sensible defaults for the small synthetic
+// sets.
+func DefaultTrainConfig() TrainConfig {
+	return TrainConfig{Epochs: 30, LR: 0.02, Seed: 1}
+}
+
+// Train fits a BNN with the straight-through estimator: float shadow
+// weights, sign-binarized weights and activations in the forward pass,
+// and gradients passed through the sign where the pre-activation is
+// within the clip region.
+func Train(ds *dataset.Set, cfg Config, tc TrainConfig) (*Network, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if ds.NumFeatures != cfg.In || ds.NumClasses != cfg.Out {
+		return nil, fmt.Errorf("bnn: dataset %dx%d does not match config %dx%d",
+			ds.NumFeatures, ds.NumClasses, cfg.In, cfg.Out)
+	}
+	if len(ds.Train) == 0 {
+		return nil, fmt.Errorf("bnn: empty training set")
+	}
+	rng := rand.New(rand.NewSource(tc.Seed))
+
+	widths := cfg.Widths()
+	nLayers := len(widths) - 1
+	// Float shadow parameters.
+	wf := make([][][]float64, nLayers)
+	bf := make([][]float64, nLayers)
+	for l := 0; l < nLayers; l++ {
+		wf[l] = make([][]float64, widths[l+1])
+		bf[l] = make([]float64, widths[l+1])
+		for j := range wf[l] {
+			row := make([]float64, widths[l])
+			for i := range row {
+				row[i] = rng.NormFloat64() * 0.5
+			}
+			wf[l][j] = row
+		}
+	}
+	signW := func(v float64) float64 {
+		if v >= 0 {
+			return 1
+		}
+		return -1
+	}
+
+	order := make([]int, len(ds.Train))
+	for i := range order {
+		order[i] = i
+	}
+	// Per-layer activation and pre-activation buffers.
+	acts := make([][]float64, nLayers+1)
+	pres := make([][]float64, nLayers)
+	for l := 0; l < nLayers; l++ {
+		pres[l] = make([]float64, widths[l+1])
+		acts[l+1] = make([]float64, widths[l+1])
+	}
+	deltas := make([][]float64, nLayers)
+	for l := range deltas {
+		deltas[l] = make([]float64, widths[l+1])
+	}
+
+	inScale := 1.0
+	if cfg.InputBits == 8 {
+		inScale = 1.0 / 128
+	}
+
+	for epoch := 0; epoch < tc.Epochs; epoch++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for _, idx := range order {
+			s := ds.Train[idx]
+			// Forward.
+			a0 := make([]float64, cfg.In)
+			for i, v := range s.X {
+				if cfg.InputBits == 1 {
+					a0[i] = float64(2*v - 1)
+				} else {
+					a0[i] = float64(v) * inScale
+				}
+			}
+			acts[0] = a0
+			for l := 0; l < nLayers; l++ {
+				for j := 0; j < widths[l+1]; j++ {
+					z := bf[l][j]
+					row := wf[l][j]
+					in := acts[l]
+					for i := range row {
+						z += signW(row[i]) * in[i]
+					}
+					pres[l][j] = z
+					if l < nLayers-1 {
+						acts[l+1][j] = signW(z)
+					} else {
+						acts[l+1][j] = z
+					}
+				}
+			}
+			// Softmax cross-entropy on the output pre-activations. The
+			// temperature scales with the output layer's fan-in: ±1 sums
+			// grow with width, and an unscaled softmax would saturate.
+			temp := float64(widths[nLayers-1]) / 4
+			if temp < 4 {
+				temp = 4
+			}
+			out := acts[nLayers]
+			maxZ := math.Inf(-1)
+			for _, z := range out {
+				if z > maxZ {
+					maxZ = z
+				}
+			}
+			sum := 0.0
+			probs := deltas[nLayers-1]
+			for j, z := range out {
+				probs[j] = math.Exp((z - maxZ) / temp)
+				sum += probs[j]
+			}
+			for j := range probs {
+				probs[j] /= sum
+				if j == s.Label {
+					probs[j] -= 1
+				}
+			}
+			// Backward through sign with the straight-through estimator.
+			for l := nLayers - 1; l >= 0; l-- {
+				d := deltas[l]
+				if l < nLayers-1 {
+					for j := range d {
+						// STE clip: gradient flows only where |z| ≤ 1.
+						if math.Abs(pres[l][j]) > float64(widths[l])*0.75 {
+							d[j] = 0
+						}
+					}
+				}
+				if l > 0 {
+					nd := deltas[l-1]
+					for i := range nd {
+						nd[i] = 0
+					}
+					for j, dj := range d {
+						if dj == 0 {
+							continue
+						}
+						row := wf[l][j]
+						for i := range row {
+							nd[i] += dj * signW(row[i])
+						}
+					}
+				}
+				in := acts[l]
+				for j, dj := range d {
+					if dj == 0 {
+						continue
+					}
+					row := wf[l][j]
+					for i := range row {
+						row[i] -= tc.LR * dj * in[i]
+					}
+					bf[l][j] -= tc.LR * dj
+				}
+			}
+		}
+	}
+
+	// Freeze to the integer inference form.
+	net := &Network{Cfg: cfg}
+	biasScale := 1.0
+	if cfg.InputBits == 8 {
+		// First-layer float forward used scaled inputs; the integer
+		// inference uses raw 8-bit values, so the bias rescales.
+		biasScale = 1 / inScale
+	}
+	for l := 0; l < nLayers; l++ {
+		layer := Layer{W: make([][]uint8, widths[l+1]), Bias: make([]int, widths[l+1])}
+		for j := range layer.W {
+			row := make([]uint8, widths[l])
+			for i, v := range wf[l][j] {
+				if v >= 0 {
+					row[i] = 1
+				}
+			}
+			layer.W[j] = row
+			scale := 1.0
+			if l == 0 {
+				scale = biasScale
+			}
+			layer.Bias[j] = int(math.Round(bf[l][j] * scale))
+		}
+		net.Layers = append(net.Layers, layer)
+	}
+	return net, nil
+}

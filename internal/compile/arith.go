@@ -1,0 +1,476 @@
+package compile
+
+// Arithmetic macros (Section VI: "n-bit addition can be implemented by
+// performing n full-adds"; dot products, squares, and popcounts are the
+// building blocks of the paper's SVM and BNN benchmarks). All macros
+// leave their input bits intact unless explicitly documented to take
+// ownership; internal scratch is freed as it dies so long chains stay
+// within the tile's row budget.
+
+// ConstWord materializes the constant v as a width-bit word, bit i on
+// parity (startParity+i)&1 (the alternating layout ripple carries want).
+func (b *Builder) ConstWord(v uint64, width, startParity int) Word {
+	w := make(Word, width)
+	for i := range w {
+		w[i] = b.Const(int(v>>i)&1, (startParity+i)&1)
+	}
+	return w
+}
+
+// AllocWord allocates width fresh rows with alternating parity, without
+// initializing them (for operand placement by the data loader).
+func (b *Builder) AllocWord(width, startParity int) Word {
+	w := make(Word, width)
+	for i := range w {
+		w[i] = b.Alloc((startParity + i) & 1)
+	}
+	return w
+}
+
+// HalfAdd returns (sum, carry) of two bits: 4 gates.
+func (b *Builder) HalfAdd(x, y Bit) (sum, carry Bit) {
+	sum = b.XOR(x, y)
+	carry = b.AND(x, y)
+	return sum, carry
+}
+
+// FullAdd returns (sum, carry) of three bits: the majority gate computes
+// the carry in one operation and two XORs compute the sum — 7 gates when
+// parities align (the paper's 9-NAND decomposition is the NAND-only
+// equivalent; the MAJ3 form is the native CRAM adder).
+func (b *Builder) FullAdd(x, y, cin Bit) (sum, carry Bit) {
+	carry = b.MAJ(x, y, cin)
+	t := b.XOR(x, y)
+	sum = b.XOR(t, cin)
+	b.Free(t)
+	return sum, carry
+}
+
+// addBitConst adds a constant bit (0 or 1) to (x, cin): the degenerate
+// full-adder stages used by subtraction's implicit sign extension.
+func (b *Builder) addBitConst(x, cin Bit, one bool) (sum, carry Bit) {
+	if one {
+		return b.XNOR(x, cin), b.OR(x, cin)
+	}
+	return b.HalfAdd(x, cin)
+}
+
+// AddWords returns x+y as a word of width max(len)+1. Inputs are not
+// consumed.
+func (b *Builder) AddWords(x, y Word) Word {
+	n := max(len(x), len(y))
+	out := make(Word, 0, n+1)
+	var carry Bit
+	for i := 0; i < n; i++ {
+		xi, yi := wordBit(x, i), wordBit(y, i)
+		var s, c Bit
+		switch {
+		case !carry.ok && yi.ok && xi.ok:
+			s, c = b.HalfAdd(xi, yi)
+		case !carry.ok && xi.ok:
+			s, c = b.Copy(xi), Bit{Row: -1}
+		case !carry.ok:
+			s, c = b.Copy(yi), Bit{Row: -1}
+		case xi.ok && yi.ok:
+			s, c = b.FullAdd(xi, yi, carry)
+		case xi.ok:
+			s, c = b.HalfAdd(xi, carry)
+		case yi.ok:
+			s, c = b.HalfAdd(yi, carry)
+		default:
+			s, c = b.Copy(carry), Bit{Row: -1}
+		}
+		if carry.ok {
+			b.Free(carry)
+		}
+		out = append(out, s)
+		carry = c
+	}
+	if carry.ok {
+		out = append(out, carry)
+	} else {
+		out = append(out, b.Const(0, nextParity(out)))
+	}
+	return out
+}
+
+// AddShifted returns acc + (x << shift), taking ownership of acc (its low
+// bits are reused in the result; its dead bits are freed). x is not
+// consumed. The result is wide enough to hold the carry.
+func (b *Builder) AddShifted(acc, x Word, shift int) Word {
+	n := max(len(acc), shift+len(x))
+	out := make(Word, 0, n+1)
+	var carry Bit
+	for i := 0; i < n; i++ {
+		ai := wordBit(acc, i)
+		var xi Bit
+		if i >= shift {
+			xi = wordBit(x, i-shift)
+		}
+		var s, c Bit
+		switch {
+		case !carry.ok && !xi.ok && ai.ok:
+			// Below the shift point: the accumulator bit passes through.
+			out = append(out, ai)
+			continue
+		case !carry.ok && !xi.ok:
+			s, c = b.Const(0, nextParity(out)), Bit{Row: -1}
+		case !carry.ok && ai.ok:
+			s, c = b.HalfAdd(ai, xi)
+		case !carry.ok:
+			s, c = b.Copy(xi), Bit{Row: -1}
+		case ai.ok && xi.ok:
+			s, c = b.FullAdd(ai, xi, carry)
+		case ai.ok:
+			s, c = b.HalfAdd(ai, carry)
+		case xi.ok:
+			s, c = b.HalfAdd(xi, carry)
+		default:
+			s, c = b.Copy(carry), Bit{Row: -1}
+		}
+		if ai.ok {
+			b.Free(ai)
+		}
+		if carry.ok {
+			b.Free(carry)
+		}
+		out = append(out, s)
+		carry = c
+	}
+	if carry.ok {
+		out = append(out, carry)
+	}
+	return out
+}
+
+// AddFixed returns x ± y at the fixed width len(x) (two's complement,
+// wrap-around). Subtraction computes x + ¬y + 1; y is zero-extended
+// before inversion, so its implicit high bits invert to ones. Neither
+// input is consumed.
+func (b *Builder) AddFixed(x, y Word, subtract bool) Word {
+	out := make(Word, 0, len(x))
+	var carry Bit
+	if subtract {
+		carry = b.Const(1, 1-wordBit(x, 0).Parity())
+	}
+	for i := range x {
+		yi := wordBit(y, i)
+		var s, c Bit
+		switch {
+		case subtract && yi.ok:
+			ny := b.NOT(yi)
+			if carry.ok {
+				s, c = b.FullAdd(x[i], ny, carry)
+			} else {
+				s, c = b.HalfAdd(x[i], ny)
+			}
+			b.Free(ny)
+		case subtract: // implicit ¬0 = 1
+			if carry.ok {
+				s, c = b.addBitConst(x[i], carry, true)
+			} else {
+				s, c = b.NOT(x[i]), b.Copy(x[i])
+			}
+		case yi.ok && carry.ok:
+			s, c = b.FullAdd(x[i], yi, carry)
+		case yi.ok:
+			s, c = b.HalfAdd(x[i], yi)
+		case carry.ok:
+			s, c = b.HalfAdd(x[i], carry)
+		default:
+			s, c = b.Copy(x[i]), Bit{Row: -1}
+		}
+		if carry.ok {
+			b.Free(carry)
+		}
+		out = append(out, s)
+		carry = c
+	}
+	if carry.ok {
+		b.Free(carry) // wrap-around: the carry out is discarded
+	}
+	return out
+}
+
+// MulWords returns x*y (unsigned, shift-add), width len(x)+len(y).
+// Inputs are not consumed; Square(x) works because duplicate-operand
+// gates fold to copies.
+func (b *Builder) MulWords(x, y Word) Word {
+	if len(x) == 0 || len(y) == 0 {
+		return nil
+	}
+	var acc Word
+	for j := range y {
+		pp := make(Word, len(x))
+		for i := range x {
+			pp[i] = b.AND(x[i], y[j])
+		}
+		if acc == nil {
+			acc = pp
+			continue
+		}
+		acc = b.AddShifted(acc, pp, j)
+		b.FreeWord(pp)
+	}
+	// Pad to the canonical width.
+	for len(acc) < len(x)+len(y) {
+		acc = append(acc, b.Const(0, nextParity(acc)))
+	}
+	return acc[:len(x)+len(y)]
+}
+
+// Square returns x².
+func (b *Builder) Square(x Word) Word { return b.MulWords(x, x) }
+
+// MulFixed returns (x*y) mod 2^len(x): x is a two's-complement value at
+// its full width, y an unsigned multiplier. Because two's-complement
+// arithmetic is arithmetic mod 2^W, this implements signed-by-unsigned
+// multiply-accumulate building blocks (e.g. SVM coefficient × squared
+// kernel). Inputs are not consumed.
+func (b *Builder) MulFixed(x, y Word) Word {
+	w := len(x)
+	if w == 0 {
+		return nil
+	}
+	acc := b.ConstWord(0, w, wordBit(x, 0).Parity())
+	for j := range y {
+		if j >= w {
+			break
+		}
+		n := w - j
+		pp := make(Word, n)
+		for i := 0; i < n; i++ {
+			pp[i] = b.AND(x[i], y[j])
+		}
+		grown := b.AddShifted(acc, pp, j)
+		b.FreeWord(pp)
+		// Truncate back to the fixed width.
+		for i := w; i < len(grown); i++ {
+			b.Free(grown[i])
+		}
+		acc = grown[:w]
+	}
+	return acc
+}
+
+// DotProduct returns Σᵢ xsᵢ·ysᵢ (unsigned), the kernel of the paper's
+// SVM benchmarks ("the main computation is effectively performing the
+// dot product", Section III). Products accumulate through AddShifted, so
+// the result width grows just enough to hold the sum exactly. Inputs are
+// not consumed.
+func (b *Builder) DotProduct(xs, ys []Word) Word {
+	if len(xs) != len(ys) {
+		b.fail("DotProduct: %d×%d operands", len(xs), len(ys))
+		return nil
+	}
+	var acc Word
+	for j := range xs {
+		p := b.MulWords(xs[j], ys[j])
+		if acc == nil {
+			acc = p
+			continue
+		}
+		acc = b.AddShifted(acc, p, 0)
+		b.FreeWord(p)
+	}
+	return acc
+}
+
+// Negate returns -x (two's complement) at x's width. x is not consumed.
+func (b *Builder) Negate(x Word) Word {
+	zero := b.ConstWord(0, len(x), wordBit(x, 0).Parity())
+	out := b.AddFixed(zero, x, true)
+	b.FreeWord(zero)
+	return out
+}
+
+// MulConstFixed returns (x·k) mod 2^len(x) for a signed two's-complement
+// x and a compile-time integer constant k, via shift-and-add over k's
+// set bits (constants cost nothing to "store": they unroll into the
+// instruction stream). x is not consumed.
+func (b *Builder) MulConstFixed(x Word, k int64) Word {
+	w := len(x)
+	if w == 0 {
+		return nil
+	}
+	neg := k < 0
+	if neg {
+		k = -k
+	}
+	acc := b.ConstWord(0, w, wordBit(x, 0).Parity())
+	for i := 0; i < w && k>>i != 0; i++ {
+		if (k>>i)&1 == 0 {
+			continue
+		}
+		// acc += x << i  (mod 2^w): stage through a shifted view of x.
+		shifted := make(Word, w)
+		var pads Word
+		for j := 0; j < i; j++ {
+			shifted[j] = b.Const(0, wordBit(acc, j).Parity())
+			pads = append(pads, shifted[j])
+		}
+		copy(shifted[i:], x[:w-i])
+		next := b.AddFixed(acc, shifted, false)
+		b.FreeWord(acc)
+		b.FreeWord(pads)
+		acc = next
+	}
+	if neg {
+		n := b.Negate(acc)
+		b.FreeWord(acc)
+		return n
+	}
+	return acc
+}
+
+// SignExtend returns a fresh copy of the two's-complement value x
+// widened to w bits (w ≥ len(x)) by replicating its sign bit. x is not
+// consumed.
+func (b *Builder) SignExtend(x Word, w int) Word {
+	out := make(Word, 0, w)
+	for _, bit := range x {
+		out = append(out, b.Copy(bit))
+	}
+	sign := x[len(x)-1]
+	for len(out) < w {
+		out = append(out, b.Copy(sign))
+	}
+	return out
+}
+
+// AshrFixed returns x arithmetically shifted right by s bits at x's
+// width (the fixed-point renormalization after a multiply): low bits
+// drop, the sign bit replicates into the top. x is not consumed.
+func (b *Builder) AshrFixed(x Word, s int) Word {
+	w := len(x)
+	if s <= 0 {
+		s = 0
+	}
+	out := make(Word, 0, w)
+	for i := s; i < w; i++ {
+		out = append(out, b.Copy(x[i]))
+	}
+	sign := x[w-1]
+	for len(out) < w {
+		out = append(out, b.Copy(sign))
+	}
+	return out
+}
+
+// PopCount returns the number of set bits among bits as a word. Input
+// bits are not consumed.
+func (b *Builder) PopCount(bits []Bit) Word {
+	if len(bits) == 0 {
+		return Word{b.Const(0, 0)}
+	}
+	// Binary-tree reduction: sum pairs of equal-width words.
+	words := make([]Word, len(bits))
+	for i, bit := range bits {
+		words[i] = Word{b.Copy(bit)}
+	}
+	for len(words) > 1 {
+		var next []Word
+		for i := 0; i+1 < len(words); i += 2 {
+			s := b.AddWords(words[i], words[i+1])
+			b.FreeWord(words[i])
+			b.FreeWord(words[i+1])
+			next = append(next, s)
+		}
+		if len(words)%2 == 1 {
+			next = append(next, words[len(words)-1])
+		}
+		words = next
+	}
+	return words[0]
+}
+
+// LessThan returns the bit x < y (unsigned). Inputs are not consumed.
+func (b *Builder) LessThan(x, y Word) Bit {
+	// x - y at width max+1: the MSB is the borrow (sign) bit.
+	w := max(len(x), len(y)) + 1
+	xe := b.extend(x, w)
+	diff := b.AddFixed(xe, y, true)
+	msb := b.Copy(diff[len(diff)-1])
+	b.FreeWord(diff)
+	b.freeExtension(xe, x)
+	return msb
+}
+
+// SignedLessThan returns the bit x <ₛ y for two's-complement words of
+// equal width: the sign of (x − y) computed one bit wider so the
+// subtraction cannot wrap. Inputs are not consumed.
+func (b *Builder) SignedLessThan(x, y Word) Bit {
+	w := max(len(x), len(y)) + 1
+	xe := b.SignExtend(x, w)
+	ye := b.SignExtend(y, w)
+	diff := b.AddFixed(xe, ye, true)
+	msb := b.Copy(diff[len(diff)-1])
+	b.FreeWord(xe)
+	b.FreeWord(ye)
+	b.FreeWord(diff)
+	return msb
+}
+
+// Mux returns sel ? onTrue : onFalse, bit-wise:
+// out = (sel ∧ onTrue) ∨ (¬sel ∧ onFalse). Words must be equal width.
+// Inputs are not consumed.
+func (b *Builder) Mux(sel Bit, onFalse, onTrue Word) Word {
+	if len(onFalse) != len(onTrue) {
+		b.fail("Mux: width mismatch %d vs %d", len(onFalse), len(onTrue))
+		return nil
+	}
+	notSel := b.NOT(sel)
+	out := make(Word, len(onTrue))
+	for i := range out {
+		t := b.AND(sel, onTrue[i])
+		f := b.AND(notSel, onFalse[i])
+		out[i] = b.OR(t, f)
+		b.Free(t, f)
+	}
+	b.Free(notSel)
+	return out
+}
+
+// GreaterEq returns the bit x ≥ y (unsigned).
+func (b *Builder) GreaterEq(x, y Word) Bit {
+	lt := b.LessThan(x, y)
+	ge := b.NOT(lt)
+	b.Free(lt)
+	return ge
+}
+
+// extend zero-extends x to width w with constant bits (shared storage
+// with x for the low bits).
+func (b *Builder) extend(x Word, w int) Word {
+	if len(x) >= w {
+		return x[:w]
+	}
+	out := append(Word{}, x...)
+	for len(out) < w {
+		out = append(out, b.Const(0, nextParity(out)))
+	}
+	return out
+}
+
+// freeExtension frees the padding bits extend added beyond the original.
+func (b *Builder) freeExtension(extended, original Word) {
+	for i := len(original); i < len(extended); i++ {
+		b.Free(extended[i])
+	}
+}
+
+// wordBit returns bit i of w, or an invalid bit beyond its width.
+func wordBit(w Word, i int) Bit {
+	if i < len(w) {
+		return w[i]
+	}
+	return Bit{Row: -1}
+}
+
+// nextParity picks the alternating parity for the next appended bit.
+func nextParity(w Word) int {
+	if len(w) == 0 {
+		return 0
+	}
+	return 1 - w[len(w)-1].Parity()
+}

@@ -1,0 +1,830 @@
+package compile
+
+import (
+	"math/rand"
+	"testing"
+
+	"mouse/internal/array"
+	"mouse/internal/controller"
+	"mouse/internal/isa"
+	"mouse/internal/mtj"
+)
+
+const (
+	testRows = 512
+	testCols = 4
+)
+
+// rig compiles the builder's program and returns a machine loader/runner:
+// load writes operand words into a column, run executes the program, and
+// read extracts a result word from a column.
+type rig struct {
+	t    *testing.T
+	prog isa.Program
+	m    *array.Machine
+}
+
+func newRig(t *testing.T, b *Builder) *rig {
+	t.Helper()
+	prog, err := b.Program()
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return &rig{
+		t:    t,
+		prog: prog,
+		m:    array.NewMachine(mtj.ModernSTT(), 1, testRows, testCols),
+	}
+}
+
+func (r *rig) load(col int, w Word, value uint64) {
+	r.t.Helper()
+	for i, bit := range w {
+		if !bit.Valid() {
+			r.t.Fatalf("loading through invalid bit %d", i)
+		}
+		r.m.Tiles[0].SetBit(bit.Row, col, int(value>>i)&1)
+	}
+}
+
+func (r *rig) run() {
+	r.t.Helper()
+	c := controller.New(controller.ProgramStore(r.prog), r.m)
+	if err := c.Run(); err != nil {
+		r.t.Fatalf("run: %v", err)
+	}
+}
+
+func (r *rig) read(col int, w Word) uint64 {
+	r.t.Helper()
+	var v uint64
+	for i, bit := range w {
+		if !bit.Valid() {
+			r.t.Fatalf("reading through invalid bit %d", i)
+		}
+		v |= uint64(r.m.Tiles[0].Bit(bit.Row, col)) << i
+	}
+	return v
+}
+
+func (r *rig) readBit(col int, bit Bit) int {
+	r.t.Helper()
+	return r.m.Tiles[0].Bit(bit.Row, col)
+}
+
+func activateAll(b *Builder) {
+	cols := make([]uint16, testCols)
+	for i := range cols {
+		cols[i] = uint16(i)
+	}
+	b.ActivateBroadcast(cols)
+}
+
+func TestGateMacrosTruthTables(t *testing.T) {
+	b := NewBuilder(testRows)
+	activateAll(b)
+	x := b.Alloc(0)
+	y := b.Alloc(0)
+	outs := map[string]Bit{
+		"and":  b.AND(x, y),
+		"or":   b.OR(x, y),
+		"nand": b.NAND(x, y),
+		"nor":  b.NOR(x, y),
+		"xor":  b.XOR(x, y),
+		"xnor": b.XNOR(x, y),
+		"not":  b.NOT(x),
+		"copy": b.Copy(x),
+	}
+	r := newRig(t, b)
+	// Columns 0..3 carry the four input combinations.
+	for col := 0; col < 4; col++ {
+		r.m.Tiles[0].SetBit(x.Row, col, col&1)
+		r.m.Tiles[0].SetBit(y.Row, col, col>>1)
+	}
+	r.run()
+	for col := 0; col < 4; col++ {
+		xv, yv := col&1, col>>1
+		want := map[string]int{
+			"and":  xv & yv,
+			"or":   xv | yv,
+			"nand": 1 - xv&yv,
+			"nor":  1 - (xv | yv),
+			"xor":  xv ^ yv,
+			"xnor": 1 - xv ^ yv,
+			"not":  1 - xv,
+			"copy": xv,
+		}
+		for name, bit := range outs {
+			if got := r.readBit(col, bit); got != want[name] {
+				t.Errorf("%s(%d,%d) = %d, want %d", name, xv, yv, got, want[name])
+			}
+		}
+	}
+}
+
+func TestMixedParityOperandsGetCopies(t *testing.T) {
+	b := NewBuilder(testRows)
+	activateAll(b)
+	x := b.Alloc(0)
+	y := b.Alloc(1) // opposite parity: the builder must insert a copy
+	out := b.AND(x, y)
+	r := newRig(t, b)
+	r.m.Tiles[0].SetBit(x.Row, 0, 1)
+	r.m.Tiles[0].SetBit(y.Row, 0, 1)
+	r.m.Tiles[0].SetBit(x.Row, 1, 1)
+	r.m.Tiles[0].SetBit(y.Row, 1, 0)
+	r.run()
+	if r.readBit(0, out) != 1 || r.readBit(1, out) != 0 {
+		t.Errorf("mixed-parity AND wrong: %d %d", r.readBit(0, out), r.readBit(1, out))
+	}
+}
+
+func TestDuplicateOperandFolds(t *testing.T) {
+	b := NewBuilder(testRows)
+	activateAll(b)
+	x := b.Alloc(0)
+	and := b.AND(x, x)
+	nand := b.NAND(x, x)
+	xor := b.XOR(x, x)
+	xnor := b.XNOR(x, x)
+	maj := b.MAJ(x, x, b.Alloc(0))
+	r := newRig(t, b)
+	r.m.Tiles[0].SetBit(x.Row, 0, 1)
+	r.run()
+	if r.readBit(0, and) != 1 || r.readBit(0, nand) != 0 {
+		t.Errorf("AND(x,x)/NAND(x,x) fold wrong")
+	}
+	if r.readBit(0, xor) != 0 || r.readBit(0, xnor) != 1 {
+		t.Errorf("XOR(x,x)/XNOR(x,x) fold wrong")
+	}
+	if r.readBit(0, maj) != 1 {
+		t.Errorf("MAJ(x,x,z) fold wrong")
+	}
+}
+
+func TestFullAddExhaustive(t *testing.T) {
+	b := NewBuilder(testRows)
+	activateAll(b)
+	x, y, cin := b.Alloc(0), b.Alloc(0), b.Alloc(0)
+	sum, carry := b.FullAdd(x, y, cin)
+	r := newRig(t, b)
+	// 8 combinations across 4 columns × 2 runs.
+	for base := 0; base < 8; base += 4 {
+		for col := 0; col < 4; col++ {
+			v := base + col
+			r.m.Tiles[0].SetBit(x.Row, col, v&1)
+			r.m.Tiles[0].SetBit(y.Row, col, (v>>1)&1)
+			r.m.Tiles[0].SetBit(cin.Row, col, (v>>2)&1)
+		}
+		r.run()
+		for col := 0; col < 4; col++ {
+			v := base + col
+			total := v&1 + (v>>1)&1 + (v>>2)&1
+			if got := r.readBit(col, sum); got != total&1 {
+				t.Errorf("sum(%03b) = %d, want %d", v, got, total&1)
+			}
+			if got := r.readBit(col, carry); got != total>>1 {
+				t.Errorf("carry(%03b) = %d, want %d", v, got, total>>1)
+			}
+		}
+	}
+}
+
+func TestAddWordsRandom(t *testing.T) {
+	b := NewBuilder(testRows)
+	activateAll(b)
+	x := b.AllocWord(8, 0)
+	y := b.AllocWord(8, 0)
+	sum := b.AddWords(x, y)
+	if sum.Len() != 9 {
+		t.Fatalf("sum width %d, want 9", sum.Len())
+	}
+	r := newRig(t, b)
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 16; trial++ {
+		vals := make([][2]uint64, testCols)
+		for col := range vals {
+			vals[col] = [2]uint64{uint64(rng.Intn(256)), uint64(rng.Intn(256))}
+			r.load(col, x, vals[col][0])
+			r.load(col, y, vals[col][1])
+		}
+		r.run()
+		for col, v := range vals {
+			if got := r.read(col, sum); got != v[0]+v[1] {
+				t.Fatalf("%d + %d = %d, want %d", v[0], v[1], got, v[0]+v[1])
+			}
+		}
+	}
+}
+
+func TestAddWordsUnequalWidths(t *testing.T) {
+	b := NewBuilder(testRows)
+	activateAll(b)
+	x := b.AllocWord(8, 0)
+	y := b.AllocWord(3, 1)
+	sum := b.AddWords(x, y)
+	r := newRig(t, b)
+	r.load(0, x, 250)
+	r.load(0, y, 7)
+	r.run()
+	if got := r.read(0, sum); got != 257 {
+		t.Fatalf("250 + 7 = %d", got)
+	}
+}
+
+func TestAddFixedSubtract(t *testing.T) {
+	b := NewBuilder(testRows)
+	activateAll(b)
+	x := b.AllocWord(10, 0)
+	y := b.AllocWord(8, 0)
+	diff := b.AddFixed(x, y, true)
+	sum := b.AddFixed(x, y, false)
+	if diff.Len() != 10 || sum.Len() != 10 {
+		t.Fatalf("fixed widths %d/%d, want 10", diff.Len(), sum.Len())
+	}
+	r := newRig(t, b)
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 16; trial++ {
+		vals := make([][2]uint64, testCols)
+		for col := range vals {
+			vals[col] = [2]uint64{uint64(rng.Intn(1024)), uint64(rng.Intn(256))}
+			r.load(col, x, vals[col][0])
+			r.load(col, y, vals[col][1])
+		}
+		r.run()
+		for col, v := range vals {
+			wantDiff := (v[0] - v[1]) & 1023 // two's complement wrap
+			wantSum := (v[0] + v[1]) & 1023
+			if got := r.read(col, diff); got != wantDiff {
+				t.Fatalf("%d - %d = %d, want %d", v[0], v[1], got, wantDiff)
+			}
+			if got := r.read(col, sum); got != wantSum {
+				t.Fatalf("%d + %d = %d, want %d", v[0], v[1], got, wantSum)
+			}
+		}
+	}
+}
+
+func TestMulWordsRandom(t *testing.T) {
+	b := NewBuilder(testRows)
+	activateAll(b)
+	x := b.AllocWord(6, 0)
+	y := b.AllocWord(6, 0)
+	prod := b.MulWords(x, y)
+	if prod.Len() != 12 {
+		t.Fatalf("product width %d, want 12", prod.Len())
+	}
+	r := newRig(t, b)
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 12; trial++ {
+		vals := make([][2]uint64, testCols)
+		for col := range vals {
+			vals[col] = [2]uint64{uint64(rng.Intn(64)), uint64(rng.Intn(64))}
+			r.load(col, x, vals[col][0])
+			r.load(col, y, vals[col][1])
+		}
+		r.run()
+		for col, v := range vals {
+			if got := r.read(col, prod); got != v[0]*v[1] {
+				t.Fatalf("%d * %d = %d, want %d", v[0], v[1], got, v[0]*v[1])
+			}
+		}
+	}
+}
+
+func TestSquare(t *testing.T) {
+	b := NewBuilder(testRows)
+	activateAll(b)
+	x := b.AllocWord(6, 0)
+	sq := b.Square(x)
+	r := newRig(t, b)
+	for _, v := range []uint64{0, 1, 7, 33, 63} {
+		r.load(0, x, v)
+		r.run()
+		if got := r.read(0, sq); got != v*v {
+			t.Fatalf("%d² = %d, want %d", v, got, v*v)
+		}
+	}
+}
+
+func TestPopCount(t *testing.T) {
+	b := NewBuilder(testRows)
+	activateAll(b)
+	bits := make([]Bit, 11)
+	word := b.AllocWord(len(bits), 0)
+	copy(bits, word)
+	count := b.PopCount(bits)
+	r := newRig(t, b)
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 12; trial++ {
+		vals := make([]uint64, testCols)
+		for col := range vals {
+			vals[col] = uint64(rng.Intn(1 << len(bits)))
+			r.load(col, word, vals[col])
+		}
+		r.run()
+		for col, v := range vals {
+			want := uint64(popcount(v))
+			if got := r.read(col, count); got != want {
+				t.Fatalf("popcount(%b) = %d, want %d", v, got, want)
+			}
+		}
+	}
+}
+
+func popcount(v uint64) int {
+	n := 0
+	for ; v != 0; v &= v - 1 {
+		n++
+	}
+	return n
+}
+
+func TestComparisons(t *testing.T) {
+	b := NewBuilder(testRows)
+	activateAll(b)
+	x := b.AllocWord(7, 0)
+	y := b.AllocWord(7, 0)
+	lt := b.LessThan(x, y)
+	ge := b.GreaterEq(x, y)
+	r := newRig(t, b)
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 24; trial++ {
+		vals := make([][2]uint64, testCols)
+		for col := range vals {
+			a, c := uint64(rng.Intn(128)), uint64(rng.Intn(128))
+			if trial%4 == 0 {
+				c = a // exercise equality
+			}
+			vals[col] = [2]uint64{a, c}
+			r.load(col, x, a)
+			r.load(col, y, c)
+		}
+		r.run()
+		for col, v := range vals {
+			wantLT := 0
+			if v[0] < v[1] {
+				wantLT = 1
+			}
+			if got := r.readBit(col, lt); got != wantLT {
+				t.Fatalf("(%d < %d) = %d, want %d", v[0], v[1], got, wantLT)
+			}
+			if got := r.readBit(col, ge); got != 1-wantLT {
+				t.Fatalf("(%d >= %d) = %d, want %d", v[0], v[1], got, 1-wantLT)
+			}
+		}
+	}
+}
+
+func TestConstWord(t *testing.T) {
+	b := NewBuilder(testRows)
+	activateAll(b)
+	c := b.ConstWord(0xB5, 8, 0)
+	r := newRig(t, b)
+	r.run()
+	for col := 0; col < testCols; col++ {
+		if got := r.read(col, c); got != 0xB5 {
+			t.Fatalf("const = %#x in column %d", got, col)
+		}
+	}
+}
+
+func TestRowExhaustion(t *testing.T) {
+	b := NewBuilder(8)
+	activateAll(b)
+	x := b.AllocWord(8, 0) // consumes all even+odd rows
+	_ = x
+	y := b.Alloc(0)
+	if y.Valid() {
+		t.Fatalf("allocation beyond capacity succeeded")
+	}
+	if b.Err() == nil {
+		t.Fatalf("no sticky error after exhaustion")
+	}
+	if _, err := b.Program(); err == nil {
+		t.Fatalf("Program() ignored sticky error")
+	}
+}
+
+func TestReserve(t *testing.T) {
+	b := NewBuilder(16)
+	r := b.Reserve(4)
+	if !r.Valid() || r.Row != 4 {
+		t.Fatalf("Reserve(4) = %+v", r)
+	}
+	r2 := b.Reserve(4)
+	if r2.Valid() || b.Err() == nil {
+		t.Fatalf("double reserve succeeded")
+	}
+}
+
+func TestScatteredActivationLimits(t *testing.T) {
+	b := NewBuilder(16)
+	b.ActivateBroadcast([]uint16{0, 2, 4, 6, 8, 10}) // 6 scattered columns
+	if b.Err() == nil {
+		t.Fatalf("oversized scattered activation accepted")
+	}
+	b2 := NewBuilder(16)
+	b2.ActivateBroadcast([]uint16{0, 2, 4})
+	if b2.Err() != nil {
+		t.Fatalf("small scattered list rejected: %v", b2.Err())
+	}
+	b3 := NewBuilder(16)
+	b3.ActivateBroadcast([]uint16{5, 6, 7, 8, 9, 10, 11, 12})
+	if b3.Err() != nil {
+		t.Fatalf("contiguous run rejected: %v", b3.Err())
+	}
+	prog, err := b3.Program()
+	if err != nil || len(prog) != 1 || !prog[0].Ranged {
+		t.Fatalf("contiguous run should compile to one ranged ACT: %v %v", prog, err)
+	}
+}
+
+func TestGateCountTracksGates(t *testing.T) {
+	b := NewBuilder(64)
+	activateAll(b)
+	x, y := b.Alloc(0), b.Alloc(0)
+	b.XOR(x, y)
+	if b.GateCount() != 3 {
+		t.Errorf("XOR gate count = %d, want 3", b.GateCount())
+	}
+	if b.Len() != 1+2*3 { // ACT + (preset+logic) per gate
+		t.Errorf("instruction count = %d", b.Len())
+	}
+}
+
+func TestMulFixedSignedByUnsigned(t *testing.T) {
+	const w = 12
+	b := NewBuilder(testRows)
+	activateAll(b)
+	x := b.AllocWord(w, 0) // two's complement
+	y := b.AllocWord(4, 0) // unsigned
+	prod := b.MulFixed(x, y)
+	if prod.Len() != w {
+		t.Fatalf("product width %d, want %d", prod.Len(), w)
+	}
+	r := newRig(t, b)
+	rng := rand.New(rand.NewSource(10))
+	mask := uint64(1<<w - 1)
+	for trial := 0; trial < 16; trial++ {
+		vals := make([][2]int64, testCols)
+		for col := range vals {
+			sx := int64(rng.Intn(512) - 256) // signed
+			uy := int64(rng.Intn(16))
+			vals[col] = [2]int64{sx, uy}
+			r.load(col, x, uint64(sx)&mask)
+			r.load(col, y, uint64(uy))
+		}
+		r.run()
+		for col, v := range vals {
+			want := uint64(v[0]*v[1]) & mask
+			if got := r.read(col, prod); got != want {
+				t.Fatalf("%d * %d = %#x, want %#x", v[0], v[1], got, want)
+			}
+		}
+	}
+}
+
+// TestCrossColumnReduction exercises the horizontal datapath (Section
+// VI): two columns each hold a partial sum; a read/rotated-write pair
+// moves column 1's partial into column 0, where a ripple add merges
+// them — the "partial sums moved, via reads and writes, to a single
+// column".
+func TestCrossColumnReduction(t *testing.T) {
+	b := NewBuilder(testRows)
+	activateAll(b)
+	p := b.AllocWord(8, 0) // each column's partial sum
+	// Shift every column's copy of p one column to the right; column 0
+	// then sees column testCols-1... we want column 0 to receive column
+	// 1, so rotate by testCols-1.
+	q := b.MoveWord(0, p, testCols-1)
+	// Merge in column 0 only.
+	b.ActivateBroadcast([]uint16{0})
+	sum := b.AddWords(p, q)
+	r := newRig(t, b)
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 8; trial++ {
+		v0, v1 := uint64(rng.Intn(256)), uint64(rng.Intn(256))
+		r.load(0, p, v0)
+		r.load(1, p, v1)
+		r.run()
+		if got := r.read(0, sum); got != v0+v1 {
+			t.Fatalf("cross-column %d + %d = %d, want %d", v0, v1, got, v0+v1)
+		}
+	}
+}
+
+func TestMoveRowsValidates(t *testing.T) {
+	b := NewBuilder(16)
+	b.MoveRows(0, []int{1, 2}, []int{3}, 1)
+	if b.Err() == nil {
+		t.Fatalf("mismatched move lengths accepted")
+	}
+}
+
+// TestTreeReductionAcrossColumns merges four per-column partials down to
+// one column in log2 steps, the pattern the workload model prices.
+func TestTreeReductionAcrossColumns(t *testing.T) {
+	b := NewBuilder(testRows)
+	activateAll(b)
+	p := b.AllocWord(6, 0)
+	// Level 1: shift by 2 so columns 0,1 receive columns 2,3.
+	q := b.MoveWord(0, p, testCols-2)
+	s1 := b.AddWords(p, q) // columns 0,1 hold pairwise sums
+	// Level 2: shift by 1 so column 0 receives column 1's pair sum.
+	q2 := b.MoveWord(0, s1, testCols-1)
+	b.ActivateBroadcast([]uint16{0})
+	total := b.AddWords(s1, q2)
+	r := newRig(t, b)
+	vals := []uint64{13, 7, 55, 21}
+	for col, v := range vals {
+		r.load(col, p, v)
+	}
+	r.run()
+	if got := r.read(0, total); got != 96 {
+		t.Fatalf("tree reduction = %d, want 96", got)
+	}
+}
+
+func TestNegate(t *testing.T) {
+	const w = 10
+	b := NewBuilder(testRows)
+	activateAll(b)
+	x := b.AllocWord(w, 0)
+	n := b.Negate(x)
+	r := newRig(t, b)
+	mask := uint64(1<<w - 1)
+	for _, v := range []int64{0, 1, 511, -1 & (1<<w - 1), 300} {
+		r.load(0, x, uint64(v)&mask)
+		r.run()
+		if got := r.read(0, n); got != uint64(-v)&mask {
+			t.Fatalf("-%d = %#x, want %#x", v, got, uint64(-v)&mask)
+		}
+	}
+}
+
+func TestMulConstFixed(t *testing.T) {
+	const w = 14
+	b := NewBuilder(testRows)
+	activateAll(b)
+	x := b.AllocWord(w, 0)
+	outs := map[int64]Word{}
+	for _, k := range []int64{0, 1, 3, -5, 11, -128, 127} {
+		outs[k] = b.MulConstFixed(x, k)
+		if outs[k].Len() != w {
+			t.Fatalf("width %d for k=%d", outs[k].Len(), k)
+		}
+	}
+	r := newRig(t, b)
+	mask := uint64(1<<w - 1)
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 8; trial++ {
+		v := int64(rng.Intn(512) - 256) // signed operand
+		r.load(0, x, uint64(v)&mask)
+		r.run()
+		for k, out := range outs {
+			want := uint64(v*k) & mask
+			if got := r.read(0, out); got != want {
+				t.Fatalf("%d * %d = %#x, want %#x", v, k, got, want)
+			}
+		}
+	}
+}
+
+func TestAshrFixed(t *testing.T) {
+	const w = 12
+	b := NewBuilder(testRows)
+	activateAll(b)
+	x := b.AllocWord(w, 0)
+	sh3 := b.AshrFixed(x, 3)
+	sh0 := b.AshrFixed(x, 0)
+	r := newRig(t, b)
+	mask := uint64(1<<w - 1)
+	for _, v := range []int64{0, 7, 100, -8, -1, -2048 + 5} {
+		r.load(0, x, uint64(v)&mask)
+		r.run()
+		if got := r.read(0, sh3); got != uint64(v>>3)&mask {
+			t.Fatalf("%d >> 3 = %#x, want %#x", v, got, uint64(v>>3)&mask)
+		}
+		if got := r.read(0, sh0); got != uint64(v)&mask {
+			t.Fatalf("%d >> 0 = %#x, want %#x", v, got, uint64(v)&mask)
+		}
+	}
+}
+
+func TestPeakRows(t *testing.T) {
+	b := NewBuilder(64)
+	if b.PeakRows() != 0 {
+		t.Fatalf("fresh builder peak %d", b.PeakRows())
+	}
+	w := b.AllocWord(8, 0)
+	if b.PeakRows() != 8 {
+		t.Fatalf("peak %d after 8 allocs", b.PeakRows())
+	}
+	b.FreeWord(w)
+	x := b.Alloc(0)
+	_ = x
+	if b.PeakRows() != 8 {
+		t.Fatalf("peak %d should be a high-water mark", b.PeakRows())
+	}
+	b.Reserve(63)
+	if b.PeakRows() != 8 {
+		t.Fatalf("peak %d after reserve (2 live)", b.PeakRows())
+	}
+	b.AllocWord(10, 0)
+	if b.PeakRows() != 12 {
+		t.Fatalf("peak %d, want 12", b.PeakRows())
+	}
+}
+
+// TestHazardAnalysisPredictsReplayBehaviour validates isa.FindWARHazards
+// empirically: executing a hazard-free region twice leaves the machine
+// exactly as executing it once, while a region with a WAR hazard
+// diverges — the ground truth behind MOUSE's one-instruction checkpoint
+// interval.
+func TestHazardAnalysisPredictsReplayBehaviour(t *testing.T) {
+	run := func(prog isa.Program, replay bool) *array.Machine {
+		m := array.NewMachine(mtj.ModernSTT(), 1, 16, 2)
+		m.Tiles[0].SetBit(0, 0, 1) // region input
+		m.Tiles[0].SetBit(2, 0, 1)
+		exec := func() {
+			c := controller.New(controller.ProgramStore(prog), m)
+			if err := c.Run(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		exec()
+		if replay {
+			exec()
+		}
+		return m
+	}
+	same := func(a, b *array.Machine) bool {
+		for r := 0; r < 16; r++ {
+			for c := 0; c < 2; c++ {
+				if a.Tiles[0].Bit(r, c) != b.Tiles[0].Bit(r, c) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+
+	clean := isa.Program{
+		isa.ActRange(true, 0, 0, 2, 1),
+		isa.Preset(1, mtj.AP),
+		isa.Logic(mtj.AND2, []int{0, 2}, 1),
+		isa.Preset(3, mtj.P),
+		isa.Logic(mtj.NOT, []int{1}, 4),
+	}
+	if hz := isa.FindWARHazards(clean); len(hz) != 0 {
+		t.Fatalf("clean program flagged: %v", hz)
+	}
+	if !same(run(clean, false), run(clean, true)) {
+		t.Fatalf("hazard-free region diverged on replay")
+	}
+
+	hazardous := isa.Program{
+		isa.ActRange(true, 0, 0, 2, 1),
+		isa.Preset(1, mtj.AP),
+		isa.Logic(mtj.AND2, []int{0, 2}, 1), // reads row 0
+		isa.Preset(0, mtj.P),                // clobbers row 0
+		isa.Preset(5, mtj.AP),
+		isa.Logic(mtj.AND2, []int{0, 2}, 5),
+	}
+	if hz := isa.FindWARHazards(hazardous); len(hz) == 0 {
+		t.Fatalf("hazardous program not flagged")
+	}
+	if same(run(hazardous, false), run(hazardous, true)) {
+		t.Fatalf("flagged region replayed identically — the analysis is too conservative here")
+	}
+}
+
+// TestReplaySafetyOfCompiledPrograms documents a finding the hazard
+// analysis surfaces: because the Builder presets every gate output (and
+// scratch reuse re-presets), pure straight-line arithmetic is
+// *whole-program* replayable — its only exposed reads are the operand
+// rows, which it never overwrites. What breaks replay — and what makes
+// the paper's per-instruction checkpointing the safe default — is the
+// data-reload pattern real mappings use: re-presetting operand rows with
+// the next support vector / weight block clobbers rows earlier
+// instructions read.
+func TestReplaySafetyOfCompiledPrograms(t *testing.T) {
+	// Straight-line arithmetic: one replay-safe region.
+	b := NewBuilder(128)
+	activateAll(b)
+	x := b.AllocWord(6, 0)
+	y := b.AllocWord(6, 0)
+	b.MulWords(x, y)
+	prog, err := b.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bounds := isa.SafeCheckpointBoundaries(prog); len(bounds) != 1 {
+		t.Fatalf("straight-line multiplier split into %d regions", len(bounds))
+	}
+
+	// Data-reload pattern (as in the SVM mappings): operand rows are
+	// re-preset between uses → replay-unsafe, multiple regions.
+	b2 := NewBuilder(256)
+	activateAll(b2)
+	x2 := b2.AllocWord(4, 0)
+	y2 := b2.AllocWord(4, 0)
+	b2.MulWords(x2, y2)
+	for _, bit := range x2 { // reload the operand for the "next vector"
+		b2.Emit(isa.Preset(bit.Row, mtj.AP))
+	}
+	b2.MulWords(x2, y2)
+	prog2, err := b2.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bounds := isa.SafeCheckpointBoundaries(prog2)
+	if len(bounds) < 2 {
+		t.Fatalf("operand-reload program claims whole-program replayability")
+	}
+	t.Logf("reload pattern: %d instructions, %d replay-safe regions", len(prog2), len(bounds))
+}
+
+func TestSignedLessThan(t *testing.T) {
+	const w = 8
+	b := NewBuilder(testRows)
+	activateAll(b)
+	x := b.AllocWord(w, 0)
+	y := b.AllocWord(w, 0)
+	lt := b.SignedLessThan(x, y)
+	r := newRig(t, b)
+	mask := uint64(1<<w - 1)
+	cases := [][2]int64{{-5, 3}, {3, -5}, {-128, 127}, {127, -128}, {-1, -1}, {0, 0}, {-7, -3}, {-3, -7}, {50, 51}}
+	for _, c := range cases {
+		r.load(0, x, uint64(c[0])&mask)
+		r.load(0, y, uint64(c[1])&mask)
+		r.run()
+		want := 0
+		if c[0] < c[1] {
+			want = 1
+		}
+		if got := r.readBit(0, lt); got != want {
+			t.Fatalf("(%d <s %d) = %d, want %d", c[0], c[1], got, want)
+		}
+	}
+}
+
+func TestMux(t *testing.T) {
+	const w = 6
+	b := NewBuilder(testRows)
+	activateAll(b)
+	sel := b.Alloc(0)
+	a := b.AllocWord(w, 0)
+	c := b.AllocWord(w, 1)
+	out := b.Mux(sel, a, c)
+	r := newRig(t, b)
+	for _, s := range []int{0, 1} {
+		r.m.Tiles[0].SetBit(sel.Row, 0, s)
+		r.load(0, a, 13)
+		r.load(0, c, 42)
+		r.run()
+		want := uint64(13)
+		if s == 1 {
+			want = 42
+		}
+		if got := r.read(0, out); got != want {
+			t.Fatalf("mux(sel=%d) = %d, want %d", s, got, want)
+		}
+	}
+	b2 := NewBuilder(32)
+	b2.ActivateBroadcast([]uint16{0})
+	s2 := b2.Alloc(0)
+	b2.Mux(s2, b2.AllocWord(3, 0), b2.AllocWord(4, 0))
+	if b2.Err() == nil {
+		t.Fatalf("width mismatch accepted")
+	}
+}
+
+func TestDotProduct(t *testing.T) {
+	b := NewBuilder(testRows)
+	activateAll(b)
+	xs := []Word{b.AllocWord(4, 0), b.AllocWord(4, 0), b.AllocWord(4, 0)}
+	ys := []Word{b.AllocWord(4, 1), b.AllocWord(4, 1), b.AllocWord(4, 1)}
+	dot := b.DotProduct(xs, ys)
+	r := newRig(t, b)
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 8; trial++ {
+		want := uint64(0)
+		for j := range xs {
+			a, c := uint64(rng.Intn(16)), uint64(rng.Intn(16))
+			r.load(0, xs[j], a)
+			r.load(0, ys[j], c)
+			want += a * c
+		}
+		r.run()
+		if got := r.read(0, dot); got != want {
+			t.Fatalf("dot = %d, want %d", got, want)
+		}
+	}
+	b2 := NewBuilder(32)
+	b2.DotProduct([]Word{b2.AllocWord(2, 0)}, nil)
+	if b2.Err() == nil {
+		t.Fatalf("mismatched operand counts accepted")
+	}
+}

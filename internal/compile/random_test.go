@@ -1,0 +1,170 @@
+package compile
+
+import (
+	"math/rand"
+	"testing"
+
+	"mouse/internal/mtj"
+)
+
+// Random-program property test: generate arbitrary arithmetic expression
+// DAGs, compile them, execute on the functional array, and compare
+// against direct Go evaluation. This stresses parity management, row
+// allocation/reuse, and macro composition far beyond the hand-written
+// cases.
+
+// exprNode evaluates one operation both ways: building hardware words
+// and computing the expected value.
+type exprNode struct {
+	word Word
+	val  uint64
+	bits int
+}
+
+const exprWidth = 8 // all expression values are 8-bit (fixed arithmetic)
+
+func TestRandomExpressionPrograms(t *testing.T) {
+	rng := rand.New(rand.NewSource(1234))
+	for trial := 0; trial < 25; trial++ {
+		b := NewBuilder(testRows)
+		activateAll(b)
+
+		// Leaves: loaded operands and compile-time constants.
+		nLeaves := 2 + rng.Intn(3)
+		leaves := make([]exprNode, nLeaves)
+		loadVals := make([]uint64, nLeaves)
+		for i := range leaves {
+			leaves[i] = exprNode{word: b.AllocWord(exprWidth, rng.Intn(2)), bits: exprWidth}
+		}
+		nodes := append([]exprNode{}, leaves...)
+		if rng.Intn(2) == 0 {
+			c := uint64(rng.Intn(256))
+			nodes = append(nodes, exprNode{word: b.ConstWord(c, exprWidth, rng.Intn(2)), val: c, bits: exprWidth})
+		}
+
+		// Interior operations. All arithmetic stays at exprWidth via the
+		// fixed-width macros, so expected values are mod 256.
+		ops := 3 + rng.Intn(6)
+		type pending struct {
+			kind  int
+			a, bi int
+			k     int64
+			s     int
+		}
+		var plan []pending
+		for i := 0; i < ops; i++ {
+			p := pending{
+				kind: rng.Intn(6),
+				a:    rng.Intn(len(nodes) + i),
+				bi:   rng.Intn(len(nodes) + i),
+				k:    int64(rng.Intn(31) - 15),
+				s:    rng.Intn(exprWidth),
+			}
+			plan = append(plan, p)
+		}
+		// Build hardware nodes following the plan.
+		build := func(vals []uint64) []uint64 {
+			res := append([]uint64{}, vals...)
+			for _, p := range plan {
+				a, bi := res[p.a], res[p.bi]
+				var v uint64
+				switch p.kind {
+				case 0:
+					v = (a + bi) & 0xFF
+				case 1:
+					v = (a - bi) & 0xFF
+				case 2:
+					v = (a * bi) & 0xFF
+				case 3:
+					v = uint64(int64(a)*p.k) & 0xFF
+				case 4:
+					v = uint64(int64(int8(a))>>p.s) & 0xFF
+				case 5:
+					if a < bi {
+						v = 1
+					}
+				}
+				res = append(res, v)
+			}
+			return res
+		}
+		for _, p := range plan {
+			an, bn := nodes[p.a], nodes[p.bi]
+			var w Word
+			switch p.kind {
+			case 0:
+				w = b.AddFixed(an.word, bn.word, false)
+			case 1:
+				w = b.AddFixed(an.word, bn.word, true)
+			case 2:
+				w = b.MulFixed(an.word, bn.word)
+			case 3:
+				w = b.MulConstFixed(an.word, p.k)
+			case 4:
+				w = b.AshrFixed(an.word, p.s)
+			case 5:
+				lt := b.LessThan(an.word, bn.word)
+				w = Word{lt}
+				for w.Len() < exprWidth {
+					w = append(w, b.Const(0, 1-w[w.Len()-1].Parity()))
+				}
+			}
+			nodes = append(nodes, exprNode{word: w, bits: exprWidth})
+		}
+		if b.Err() != nil {
+			t.Fatalf("trial %d: compile error: %v", trial, b.Err())
+		}
+
+		r := newRig(t, b)
+		for rerun := 0; rerun < 2; rerun++ {
+			vals := make([]uint64, len(nodes)-ops)
+			for i := 0; i < nLeaves; i++ {
+				loadVals[i] = uint64(rng.Intn(256))
+				vals[i] = loadVals[i]
+				r.load(0, leaves[i].word, loadVals[i])
+			}
+			// Constants keep their compile-time values.
+			for i := nLeaves; i < len(vals); i++ {
+				vals[i] = nodes[i].val
+			}
+			want := build(vals)
+			r.run()
+			for i, n := range nodes {
+				got := r.read(0, n.word)
+				if got != want[i] {
+					t.Fatalf("trial %d rerun %d node %d: hardware %#x, want %#x", trial, rerun, i, got, want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestRandomOutageExpression compiles one random expression and verifies
+// it survives an energy-starved intermittent run unchanged (compiler ×
+// controller × power integration).
+func TestRandomOutageExpression(t *testing.T) {
+	b := NewBuilder(testRows)
+	activateAll(b)
+	x := b.AllocWord(exprWidth, 0)
+	y := b.AllocWord(exprWidth, 0)
+	p1 := b.MulFixed(x, y)
+	p2 := b.AddFixed(p1, x, true)
+	p3 := b.MulConstFixed(p2, -3)
+	out := b.AshrFixed(p3, 2)
+	prog, err := b.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = mtj.ModernSTT()
+	r := newRig(t, b)
+	_ = prog
+	r.load(0, x, 77)
+	r.load(0, y, 19)
+	r.run()
+	step := uint8((77*19 - 77) % 256)
+	step = uint8(int8(step) * -3)
+	want := uint64(int64(int8(step))>>2) & 0xFF
+	if got := r.read(0, out); got != want {
+		t.Fatalf("expression = %#x, want %#x", got, want)
+	}
+}

@@ -1,0 +1,91 @@
+package controller
+
+import (
+	"fmt"
+
+	"mouse/internal/array"
+	"mouse/internal/isa"
+	"mouse/internal/mtj"
+)
+
+// TileStore holds the program in actual MTJ instruction tiles, as MOUSE
+// does (Section IV-A: "a subset of the tiles are dedicated to store the
+// instructions... written into these tiles before deployment"; the
+// prototype's instruction and data tiles are homogeneous in design).
+// Instruction i's 64-bit word occupies bit columns (i mod perRow)·64 ..
+// +63 of row (i / perRow) of the appropriate tile.
+//
+// Because the store is non-volatile memory, the program trivially
+// survives outages; Fetch is a plain array read.
+type TileStore struct {
+	tiles  []*array.Tile
+	rows   int
+	perRow int // instructions per row
+	count  uint64
+
+	// err records a decode failure (bit corruption in an instruction
+	// tile); Fetch then reports the program as ended.
+	err error
+}
+
+// NewTileStore flashes the program into freshly allocated instruction
+// tiles of the given geometry. cols must be a multiple of 64.
+func NewTileStore(cfg *mtj.Config, prog isa.Program, rows, cols int) (*TileStore, error) {
+	if cols%64 != 0 || cols == 0 {
+		return nil, fmt.Errorf("controller: instruction tile width %d is not a multiple of 64", cols)
+	}
+	s := &TileStore{rows: rows, perRow: cols / 64, count: uint64(len(prog))}
+	perTile := rows * s.perRow
+	nTiles := (len(prog) + perTile - 1) / perTile
+	if nTiles == 0 {
+		nTiles = 1
+	}
+	for i := 0; i < nTiles; i++ {
+		s.tiles = append(s.tiles, array.NewTile(cfg, rows, cols))
+	}
+	for i, in := range prog {
+		word, err := isa.Encode(in)
+		if err != nil {
+			return nil, fmt.Errorf("controller: instruction %d: %w", i, err)
+		}
+		tile, row, slot := s.locate(uint64(i))
+		for b := 0; b < 64; b++ {
+			tile.SetBit(row, slot*64+b, int(word>>b)&1)
+		}
+	}
+	return s, nil
+}
+
+func (s *TileStore) locate(pc uint64) (*array.Tile, int, int) {
+	perTile := uint64(s.rows * s.perRow)
+	t := pc / perTile
+	rem := pc % perTile
+	return s.tiles[t], int(rem) / s.perRow, int(rem) % s.perRow
+}
+
+// Tiles returns the instruction tiles (e.g. for fault-injection tests).
+func (s *TileStore) Tiles() []*array.Tile { return s.tiles }
+
+// Len returns the stored instruction count.
+func (s *TileStore) Len() uint64 { return s.count }
+
+// Err reports a decode failure encountered by Fetch, if any.
+func (s *TileStore) Err() error { return s.err }
+
+// Fetch reads and decodes the instruction at pc from the tiles.
+func (s *TileStore) Fetch(pc uint64) (isa.Instruction, bool) {
+	if pc >= s.count || s.err != nil {
+		return isa.Instruction{}, false
+	}
+	tile, row, slot := s.locate(pc)
+	var word uint64
+	for b := 0; b < 64; b++ {
+		word |= uint64(tile.Bit(row, slot*64+b)) << b
+	}
+	in, err := isa.Decode(word)
+	if err != nil {
+		s.err = fmt.Errorf("controller: corrupt instruction tile at pc %d: %w", pc, err)
+		return isa.Instruction{}, false
+	}
+	return in, true
+}

@@ -1,0 +1,127 @@
+package controller
+
+import (
+	"errors"
+	"testing"
+
+	"mouse/internal/array"
+	"mouse/internal/isa"
+	"mouse/internal/mtj"
+)
+
+func TestTileStoreFetchMatchesProgram(t *testing.T) {
+	prog := adderProgram()
+	store, err := NewTileStore(mtj.ModernSTT(), prog, 4, 128) // 2 instrs/row, 8 per tile
+	if err != nil {
+		t.Fatal(err)
+	}
+	if store.Len() != uint64(len(prog)) {
+		t.Fatalf("Len = %d", store.Len())
+	}
+	if len(store.Tiles()) != 2 { // 13 instructions, 8 per tile
+		t.Fatalf("%d instruction tiles, want 2", len(store.Tiles()))
+	}
+	for i := range prog {
+		got, ok := store.Fetch(uint64(i))
+		if !ok {
+			t.Fatalf("fetch %d failed", i)
+		}
+		if got.String() != prog[i].String() {
+			t.Errorf("instruction %d: %v != %v", i, got, prog[i])
+		}
+	}
+	if _, ok := store.Fetch(uint64(len(prog))); ok {
+		t.Errorf("fetch past the end succeeded")
+	}
+}
+
+func TestRunFromInstructionTiles(t *testing.T) {
+	// The same program produces identical machine state whether fetched
+	// from a Go slice or from real MTJ instruction tiles.
+	refC, refM := newRig()
+	if err := refC.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := snapshot(refM)
+
+	store, err := NewTileStore(mtj.ModernSTT(), adderProgram(), 64, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := array.NewMachine(mtj.ModernSTT(), 2, 32, 4)
+	m.Tiles[0].SetBit(0, 0, 1)
+	m.Tiles[0].SetBit(2, 0, 0)
+	m.Tiles[0].SetBit(4, 0, 1)
+	m.Tiles[0].SetBit(0, 1, 1)
+	m.Tiles[0].SetBit(2, 1, 1)
+	m.Tiles[0].SetBit(4, 1, 1)
+	c := New(store, m)
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	got := snapshot(m)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("tile-fetched run diverged at cell %d", i)
+		}
+	}
+}
+
+func TestTileStoreSurvivesOutage(t *testing.T) {
+	store, err := NewTileStore(mtj.ModernSTT(), adderProgram(), 64, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := array.NewMachine(mtj.ModernSTT(), 2, 32, 4)
+	c := New(store, m)
+	if err := c.StepWithFailure(PhaseWritePC, nil); !errors.Is(err, ErrPowerFailure) {
+		t.Fatal(err)
+	}
+	c.PowerFail()
+	for _, tile := range store.Tiles() {
+		tile.LoseVolatile()
+	}
+	if err := c.Restart(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if store.Err() != nil {
+		t.Fatalf("store error after outage: %v", store.Err())
+	}
+}
+
+func TestTileStoreDetectsCorruption(t *testing.T) {
+	prog := isa.Program{isa.Read(0, 0), isa.Logic(mtj.NAND2, []int{0, 2}, 1)}
+	store, err := NewTileStore(mtj.ModernSTT(), prog, 4, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a bit of instruction 1 so its input parity breaks.
+	tile := store.Tiles()[0]
+	tile.SetBit(1, 4, 1-tile.Bit(1, 4)) // bit 4 = LSB of In[0]
+	if _, ok := store.Fetch(1); ok {
+		t.Fatalf("corrupt instruction fetched successfully")
+	}
+	if store.Err() == nil {
+		t.Fatalf("corruption not recorded")
+	}
+}
+
+func TestTileStoreGeometryErrors(t *testing.T) {
+	if _, err := NewTileStore(mtj.ModernSTT(), nil, 4, 100); err == nil {
+		t.Errorf("non-multiple-of-64 width accepted")
+	}
+	if _, err := NewTileStore(mtj.ModernSTT(), nil, 4, 0); err == nil {
+		t.Errorf("zero width accepted")
+	}
+	// An empty program still yields a working (empty) store.
+	s, err := NewTileStore(mtj.ModernSTT(), nil, 4, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Fetch(0); ok {
+		t.Errorf("empty store fetched an instruction")
+	}
+}

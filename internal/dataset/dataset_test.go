@@ -1,0 +1,221 @@
+package dataset
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestDigitsShape(t *testing.T) {
+	s := Digits(1, 10, 4)
+	if s.NumFeatures != 784 || s.NumClasses != 10 {
+		t.Fatalf("shape %dx%d", s.NumFeatures, s.NumClasses)
+	}
+	if len(s.Train) != 100 || len(s.Test) != 40 {
+		t.Fatalf("sizes %d/%d", len(s.Train), len(s.Test))
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHARShape(t *testing.T) {
+	s := HAR(2, 8, 3)
+	if s.NumFeatures != 561 || s.NumClasses != 6 {
+		t.Fatalf("shape %dx%d", s.NumFeatures, s.NumClasses)
+	}
+	if len(s.Train) != 48 || len(s.Test) != 18 {
+		t.Fatalf("sizes %d/%d", len(s.Train), len(s.Test))
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAdultShape(t *testing.T) {
+	s := Adult(3, 100, 50)
+	if s.NumFeatures != 15 || s.NumClasses != 2 {
+		t.Fatalf("shape %dx%d", s.NumFeatures, s.NumClasses)
+	}
+	if len(s.Train) != 100 || len(s.Test) != 50 {
+		t.Fatalf("sizes %d/%d", len(s.Train), len(s.Test))
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Both classes must occur.
+	seen := map[int]bool{}
+	for _, smp := range s.Train {
+		seen[smp.Label] = true
+	}
+	if len(seen) != 2 {
+		t.Fatalf("labels seen: %v", seen)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := Digits(42, 3, 2)
+	b := Digits(42, 3, 2)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed produced different data")
+	}
+	c := Digits(43, 3, 2)
+	if reflect.DeepEqual(a.Train[0].X, c.Train[0].X) {
+		t.Fatalf("different seeds produced identical data")
+	}
+}
+
+func TestBinarize(t *testing.T) {
+	s := Digits(5, 3, 2)
+	bin := s.Binarize(128)
+	if err := bin.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	ones := 0
+	for _, smp := range bin.Train {
+		for _, v := range smp.X {
+			if v != 0 && v != 1 {
+				t.Fatalf("non-binary feature %d", v)
+			}
+			ones += v
+		}
+	}
+	if ones == 0 {
+		t.Fatalf("binarization produced all zeros")
+	}
+	// The original is untouched.
+	max := 0
+	for _, v := range s.Train[0].X {
+		if v > max {
+			max = v
+		}
+	}
+	if max <= 1 {
+		t.Fatalf("Binarize mutated the source set")
+	}
+}
+
+func TestClassesAreSeparable(t *testing.T) {
+	// A nearest-centroid classifier must beat chance comfortably on the
+	// synthetic sets, or the classifiers downstream have nothing to learn.
+	for _, s := range []*Set{Digits(7, 20, 10), HAR(7, 20, 10)} {
+		centroids := make([][]float64, s.NumClasses)
+		counts := make([]int, s.NumClasses)
+		for c := range centroids {
+			centroids[c] = make([]float64, s.NumFeatures)
+		}
+		for _, smp := range s.Train {
+			counts[smp.Label]++
+			for j, v := range smp.X {
+				centroids[smp.Label][j] += float64(v)
+			}
+		}
+		for c := range centroids {
+			for j := range centroids[c] {
+				centroids[c][j] /= float64(counts[c])
+			}
+		}
+		correct := 0
+		for _, smp := range s.Test {
+			best, bestD := -1, 0.0
+			for c := range centroids {
+				d := 0.0
+				for j, v := range smp.X {
+					diff := float64(v) - centroids[c][j]
+					d += diff * diff
+				}
+				if best < 0 || d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if best == smp.Label {
+				correct++
+			}
+		}
+		acc := float64(correct) / float64(len(s.Test))
+		chance := 1.0 / float64(s.NumClasses)
+		if acc < 3*chance {
+			t.Errorf("%s: nearest-centroid accuracy %.2f too close to chance %.2f", s.Name, acc, chance)
+		}
+	}
+}
+
+func TestValidateCatchesBadData(t *testing.T) {
+	s := Digits(1, 2, 1)
+	s.Train[0].X[0] = 999
+	if err := s.Validate(); err == nil {
+		t.Errorf("out-of-range feature accepted")
+	}
+	s = Digits(1, 2, 1)
+	s.Train[0].Label = 99
+	if err := s.Validate(); err == nil {
+		t.Errorf("out-of-range label accepted")
+	}
+	s = Digits(1, 2, 1)
+	s.Train[0].X = s.Train[0].X[:10]
+	if err := s.Validate(); err == nil {
+		t.Errorf("short sample accepted")
+	}
+}
+
+func TestSpeechShape(t *testing.T) {
+	s := Speech(4, 100, 40)
+	if s.NumFeatures != 64 || s.NumClasses != 2 {
+		t.Fatalf("shape %dx%d", s.NumFeatures, s.NumClasses)
+	}
+	if len(s.Train) != 100 || len(s.Test) != 40 {
+		t.Fatalf("sizes %d/%d", len(s.Train), len(s.Test))
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for _, smp := range s.Train {
+		seen[smp.Label] = true
+	}
+	if len(seen) != 2 {
+		t.Fatalf("labels: %v", seen)
+	}
+}
+
+func TestSpeechIsNotLinearlySeparable(t *testing.T) {
+	// Nearest-centroid (a linear rule) must fail on the parity task —
+	// the structure that defeats the quadratic kernel.
+	s := Speech(5, 300, 200)
+	centroids := make([][]float64, 2)
+	counts := make([]int, 2)
+	for c := range centroids {
+		centroids[c] = make([]float64, s.NumFeatures)
+	}
+	for _, smp := range s.Train {
+		counts[smp.Label]++
+		for j, v := range smp.X {
+			centroids[smp.Label][j] += float64(v)
+		}
+	}
+	for c := range centroids {
+		for j := range centroids[c] {
+			centroids[c][j] /= float64(counts[c])
+		}
+	}
+	correct := 0
+	for _, smp := range s.Test {
+		best, bestD := 0, 0.0
+		for c := range centroids {
+			d := 0.0
+			for j, v := range smp.X {
+				diff := float64(v) - centroids[c][j]
+				d += diff * diff
+			}
+			if c == 0 || d < bestD {
+				best, bestD = c, d
+			}
+		}
+		if best == smp.Label {
+			correct++
+		}
+	}
+	acc := float64(correct) / float64(len(s.Test))
+	if acc > 0.65 {
+		t.Errorf("nearest-centroid accuracy %.2f — the parity structure leaked", acc)
+	}
+}

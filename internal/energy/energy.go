@@ -1,0 +1,269 @@
+// Package energy is MOUSE's performance, energy, and area model
+// (Section VIII of the paper). It turns instruction-level activity into
+// joules and seconds for a given technology configuration, and accounts
+// them into the EH-model categories of San Miguel et al. [75] that the
+// paper reports: Compute, Backup, Dead, and Restore energy, plus Dead and
+// Restore latency.
+//
+//   - Compute: the instruction's own work — gate switching in every
+//     active column plus the peripheral circuitry share (instruction
+//     fetch, decode, address drivers), calibrated as a fixed share of
+//     total energy in the NVSim style.
+//   - Backup: the per-cycle checkpoint — writing the next PC into the
+//     invalid PC register and flipping the parity bit, plus storing an
+//     Activate Columns instruction into its register pair when one is
+//     issued. Backup has no latency: it overlaps the instruction cycle.
+//   - Dead: work lost to an outage — the partially performed instruction
+//     plus its full re-execution on restart.
+//   - Restore: re-issuing the stored Activate Columns instruction on
+//     every restart; its cost grows with the number of columns latched.
+//
+// Every instruction occupies exactly one cycle: the controller always
+// waits as long as the slowest instruction needs (Section IV-B).
+package energy
+
+import (
+	"fmt"
+
+	"mouse/internal/isa"
+	"mouse/internal/mtj"
+	"mouse/internal/power"
+)
+
+// Op is the compact activity record the model prices. The functional
+// simulator derives it from real instructions; the analytic trace layer
+// for paper-scale workloads generates Ops directly.
+type Op struct {
+	Kind isa.Kind
+	// Gate applies to KindLogic.
+	Gate mtj.GateKind
+	// ActivePairs is the number of (tile, column) pairs the operation
+	// touches (logic and preset operations).
+	ActivePairs int
+	// ActCols is the number of columns an ACT instruction latches,
+	// summed over its target tiles.
+	ActCols int
+}
+
+// OpOf summarizes a concrete instruction executing on a machine with the
+// given activation state.
+func OpOf(in isa.Instruction, activePairs, actCols int) Op {
+	op := Op{Kind: in.Kind}
+	switch in.Kind {
+	case isa.KindLogic:
+		op.Gate = in.Gate
+		op.ActivePairs = activePairs
+	case isa.KindPreset:
+		op.ActivePairs = activePairs
+	case isa.KindAct:
+		op.ActCols = actCols
+	}
+	return op
+}
+
+// Model prices operations for one technology configuration.
+type Model struct {
+	Cfg *mtj.Config
+
+	// PeripheralShare is the fraction of each operation's energy spent in
+	// peripheral circuitry (decoders, drivers, sensing), calibrated from
+	// NVSim's reported shares for MRAM arrays of this size. Core (cell)
+	// energy is divided by (1 - PeripheralShare).
+	PeripheralShare float64
+
+	// InstrBits is the instruction word width fetched from the
+	// instruction tiles each cycle.
+	InstrBits int
+
+	// PCBits is the width of a PC register write during backup.
+	PCBits int
+
+	// RowBits is the number of columns a full-row read or write moves.
+	RowBits int
+
+	// LatchFraction sizes the per-column activation-latch energy as a
+	// fraction of a cell write (CMOS latches are far cheaper than MTJ
+	// switching).
+	LatchFraction float64
+
+	// RegisterFraction sizes a dedicated non-volatile register bit write
+	// (PC, parity, ACT registers) relative to a worst-case array cell
+	// write: registers sit next to the controller, need no array
+	// word/bit-line drive, and are written at minimal overdrive.
+	RegisterFraction float64
+
+	Converter power.Converter
+}
+
+// NewModel returns the calibrated model for cfg with the paper's tile
+// geometry (1024-column rows).
+func NewModel(cfg *mtj.Config) *Model {
+	return &Model{
+		Cfg:              cfg,
+		PeripheralShare:  0.5,
+		InstrBits:        64,
+		PCBits:           24,
+		RowBits:          isa.Cols,
+		LatchFraction:    0.05,
+		RegisterFraction: 0.25,
+		Converter:        power.DefaultConverter(),
+	}
+}
+
+// scale inflates a core (cell-level) energy by the peripheral share.
+func (m *Model) scale(core float64) float64 {
+	return core / (1 - m.PeripheralShare)
+}
+
+// CycleTime returns the duration of one instruction cycle in seconds.
+func (m *Model) CycleTime() float64 { return m.Cfg.CycleTime() }
+
+// bitWrite returns the scaled energy of writing one cell.
+func (m *Model) bitWrite() float64 { return m.scale(mtj.WriteEnergy(m.Cfg)) }
+
+// bitRead returns the scaled energy of sensing one cell.
+func (m *Model) bitRead() float64 { return m.scale(mtj.ReadEnergy(m.Cfg)) }
+
+// fetch returns the per-cycle instruction-fetch energy: reading one
+// 64-bit word from an instruction tile.
+func (m *Model) fetch() float64 { return float64(m.InstrBits) * m.bitRead() }
+
+// Energy returns the Compute energy of one operation in joules,
+// including the instruction fetch.
+func (m *Model) Energy(op Op) float64 {
+	e := m.fetch()
+	switch op.Kind {
+	case isa.KindLogic:
+		e += m.scale(mtj.GateEnergy(op.Gate, m.Cfg)) * float64(op.ActivePairs)
+	case isa.KindPreset:
+		e += m.bitWrite() * float64(op.ActivePairs)
+	case isa.KindRead:
+		e += m.bitRead() * float64(m.RowBits)
+	case isa.KindWrite:
+		e += m.bitWrite() * float64(m.RowBits)
+	case isa.KindAct:
+		e += m.latchEnergy(op.ActCols)
+	}
+	return e
+}
+
+// latchEnergy is the cost of driving the column-activation latches.
+func (m *Model) latchEnergy(cols int) float64 {
+	return m.bitWrite() * m.LatchFraction * float64(cols)
+}
+
+// Backup returns the checkpoint energy committed alongside the
+// operation: the PC register write and parity flip, plus the duplicated
+// Activate Columns register write for ACT instructions (Section IV-D).
+func (m *Model) Backup(op Op) float64 {
+	regBit := m.bitWrite() * m.RegisterFraction
+	e := float64(m.PCBits+1) * regBit
+	if op.Kind == isa.KindAct {
+		e += float64(m.InstrBits+1) * regBit
+	}
+	return e
+}
+
+// Restore returns the energy of re-activating cols columns on restart:
+// re-reading the stored ACT register and re-driving the latches.
+func (m *Model) Restore(cols int) float64 {
+	return float64(m.InstrBits)*m.bitRead()*m.RegisterFraction + m.latchEnergy(cols)
+}
+
+// Level returns the converter level the operation's bias voltage
+// requires, for level-switch accounting (Section IV-C). Operations that
+// need no array bias (fetch-only) report level 0.
+func (m *Model) Level(op Op) int {
+	vIn := (m.Cfg.CapVMin + m.Cfg.CapVMax) / 2
+	var vOut float64
+	switch op.Kind {
+	case isa.KindLogic:
+		v, err := mtj.Bias(op.Gate, m.Cfg)
+		if err != nil {
+			return -1
+		}
+		vOut = v
+	case isa.KindPreset, isa.KindWrite:
+		// Writes drive the switching current through the write path; the
+		// supply level is sized for the mean device resistance (the
+		// resistance falls as an AP→P switch proceeds, so the worst-case
+		// RAP applies only transiently).
+		r := (m.Cfg.P.RP + m.Cfg.P.RAP) / 2
+		if m.Cfg.Cell == mtj.SHE {
+			r = m.Cfg.RChannel
+		}
+		vOut = m.Cfg.P.SwitchCurrent * 1.5 * r
+	case isa.KindRead:
+		vOut = 0.5 * m.Cfg.P.SwitchCurrent * m.Cfg.P.RP
+	default:
+		return 0
+	}
+	return m.Converter.LevelIndex(vIn, vOut)
+}
+
+// Breakdown is the EH-model accounting record for a run. All energies
+// are joules, all latencies seconds.
+type Breakdown struct {
+	// ComputeEnergy is the useful (forward-progress) instruction energy.
+	ComputeEnergy float64
+	// BackupEnergy is the continuous architectural-state checkpointing.
+	BackupEnergy float64
+	// DeadEnergy is work lost to outages and re-performed.
+	DeadEnergy float64
+	// RestoreEnergy is the restart re-activation cost.
+	RestoreEnergy float64
+
+	// OnLatency is powered execution time; OffLatency is time spent
+	// powered down waiting for the buffer to recharge.
+	OnLatency  float64
+	OffLatency float64
+	// DeadLatency is the time spent re-performing interrupted work.
+	DeadLatency float64
+	// RestoreLatency is the time spent re-activating columns on restarts.
+	RestoreLatency float64
+
+	Instructions  uint64
+	Restarts      uint64
+	LevelSwitches uint64
+}
+
+// TotalEnergy sums every energy category.
+func (b Breakdown) TotalEnergy() float64 {
+	return b.ComputeEnergy + b.BackupEnergy + b.DeadEnergy + b.RestoreEnergy
+}
+
+// TotalLatency is wall-clock completion time: powered-on plus
+// powered-off time (Dead and Restore latency are subsets of OnLatency).
+func (b Breakdown) TotalLatency() float64 {
+	return b.OnLatency + b.OffLatency
+}
+
+// Add accumulates another breakdown into b.
+func (b *Breakdown) Add(o Breakdown) {
+	b.ComputeEnergy += o.ComputeEnergy
+	b.BackupEnergy += o.BackupEnergy
+	b.DeadEnergy += o.DeadEnergy
+	b.RestoreEnergy += o.RestoreEnergy
+	b.OnLatency += o.OnLatency
+	b.OffLatency += o.OffLatency
+	b.DeadLatency += o.DeadLatency
+	b.RestoreLatency += o.RestoreLatency
+	b.Instructions += o.Instructions
+	b.Restarts += o.Restarts
+	b.LevelSwitches += o.LevelSwitches
+}
+
+// Share returns x as a fraction of total energy (0 when the total is 0).
+func (b Breakdown) Share(x float64) float64 {
+	t := b.TotalEnergy()
+	if t == 0 {
+		return 0
+	}
+	return x / t
+}
+
+func (b Breakdown) String() string {
+	return fmt.Sprintf("energy %.4g J (compute %.4g, backup %.4g, dead %.4g, restore %.4g); latency %.4g s (on %.4g, off %.4g); %d instructions, %d restarts",
+		b.TotalEnergy(), b.ComputeEnergy, b.BackupEnergy, b.DeadEnergy, b.RestoreEnergy,
+		b.TotalLatency(), b.OnLatency, b.OffLatency, b.Instructions, b.Restarts)
+}

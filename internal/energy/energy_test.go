@@ -1,0 +1,218 @@
+package energy
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"mouse/internal/isa"
+	"mouse/internal/mtj"
+)
+
+func almost(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol*math.Max(math.Abs(a), math.Abs(b))
+}
+
+func TestLogicEnergyScalesWithParallelism(t *testing.T) {
+	m := NewModel(mtj.ModernSTT())
+	op1 := Op{Kind: isa.KindLogic, Gate: mtj.NAND2, ActivePairs: 1}
+	op1000 := Op{Kind: isa.KindLogic, Gate: mtj.NAND2, ActivePairs: 1000}
+	e1, e1000 := m.Energy(op1), m.Energy(op1000)
+	if e1000 <= e1 {
+		t.Fatalf("parallel op not more expensive: %g vs %g", e1000, e1)
+	}
+	perCol := (e1000 - e1) / 999
+	want := m.scale(mtj.GateEnergy(mtj.NAND2, m.Cfg))
+	if !almost(perCol, want, 1e-9) {
+		t.Errorf("per-column marginal energy %g, want %g", perCol, want)
+	}
+}
+
+func TestEnergyIncludesFetchFloor(t *testing.T) {
+	m := NewModel(mtj.ModernSTT())
+	// Even a zero-column logic op pays the fetch cost.
+	e := m.Energy(Op{Kind: isa.KindLogic, Gate: mtj.NAND2, ActivePairs: 0})
+	if e <= 0 {
+		t.Errorf("zero-column op free: %g", e)
+	}
+	if !almost(e, m.fetch(), 1e-12) {
+		t.Errorf("zero-column energy %g != fetch %g", e, m.fetch())
+	}
+}
+
+func TestPeripheralShareInflation(t *testing.T) {
+	m := NewModel(mtj.ModernSTT())
+	core := 1e-12
+	if got := m.scale(core); !almost(got, 2e-12, 1e-12) {
+		t.Errorf("50%% share should double core energy, got %g", got)
+	}
+}
+
+func TestBackupCheaperThanTypicalLogic(t *testing.T) {
+	// Section IV-D: backup and restore cost far less than a typical
+	// (parallel) logic instruction.
+	for _, cfg := range mtj.Configs() {
+		m := NewModel(cfg)
+		logic := m.Energy(Op{Kind: isa.KindLogic, Gate: mtj.NAND2, ActivePairs: 1024})
+		backup := m.Backup(Op{Kind: isa.KindLogic})
+		restore := m.Restore(1024)
+		if backup >= logic/10 {
+			t.Errorf("%s: backup %g not far below logic %g", cfg.Name, backup, logic)
+		}
+		if restore >= logic {
+			t.Errorf("%s: restore %g not below logic %g", cfg.Name, restore, logic)
+		}
+	}
+}
+
+func TestBackupActCostsMore(t *testing.T) {
+	m := NewModel(mtj.ModernSTT())
+	plain := m.Backup(Op{Kind: isa.KindLogic})
+	act := m.Backup(Op{Kind: isa.KindAct})
+	if act <= plain {
+		t.Errorf("ACT backup %g should exceed plain %g (stores the instruction register)", act, plain)
+	}
+}
+
+func TestRestoreScalesWithColumns(t *testing.T) {
+	m := NewModel(mtj.ModernSTT())
+	if m.Restore(1024) <= m.Restore(4) {
+		t.Errorf("restore energy should grow with column count")
+	}
+}
+
+func TestReadWriteRowEnergy(t *testing.T) {
+	m := NewModel(mtj.ProjectedSTT())
+	rd := m.Energy(Op{Kind: isa.KindRead})
+	wr := m.Energy(Op{Kind: isa.KindWrite})
+	if rd <= 0 || wr <= 0 {
+		t.Fatalf("row ops free: rd=%g wr=%g", rd, wr)
+	}
+}
+
+func TestSHECheaperThanSTT(t *testing.T) {
+	stt := NewModel(mtj.ProjectedSTT())
+	she := NewModel(mtj.ProjectedSHE())
+	ops := []Op{
+		{Kind: isa.KindLogic, Gate: mtj.NAND2, ActivePairs: 1024},
+		{Kind: isa.KindPreset, ActivePairs: 1024},
+		{Kind: isa.KindWrite},
+	}
+	for _, op := range ops {
+		if she.Energy(op) >= stt.Energy(op) {
+			t.Errorf("%v: SHE %g >= STT %g", op.Kind, she.Energy(op), stt.Energy(op))
+		}
+	}
+}
+
+func TestOpOf(t *testing.T) {
+	lg := OpOf(isa.Logic(mtj.NAND2, []int{0, 2}, 1), 77, 0)
+	if lg.Kind != isa.KindLogic || lg.Gate != mtj.NAND2 || lg.ActivePairs != 77 {
+		t.Errorf("OpOf logic = %+v", lg)
+	}
+	act := OpOf(isa.ActRange(true, 0, 0, 16, 1), 0, 16)
+	if act.Kind != isa.KindAct || act.ActCols != 16 {
+		t.Errorf("OpOf act = %+v", act)
+	}
+	pre := OpOf(isa.Preset(1, mtj.P), 10, 0)
+	if pre.Kind != isa.KindPreset || pre.ActivePairs != 10 {
+		t.Errorf("OpOf preset = %+v", pre)
+	}
+	rd := OpOf(isa.Read(0, 0), 5, 5)
+	if rd.ActivePairs != 0 || rd.ActCols != 0 {
+		t.Errorf("OpOf read kept activity fields: %+v", rd)
+	}
+}
+
+func TestLevels(t *testing.T) {
+	m := NewModel(mtj.ModernSTT())
+	// ACT and fetch-only ops are level 0; array ops have a valid level.
+	if l := m.Level(Op{Kind: isa.KindAct}); l != 0 {
+		t.Errorf("ACT level = %d", l)
+	}
+	for _, op := range []Op{
+		{Kind: isa.KindLogic, Gate: mtj.NAND2},
+		{Kind: isa.KindLogic, Gate: mtj.NOR2},
+		{Kind: isa.KindPreset},
+		{Kind: isa.KindRead},
+		{Kind: isa.KindWrite},
+	} {
+		if l := m.Level(op); l < 0 {
+			t.Errorf("%v: unreachable level", op)
+		}
+	}
+	// Different gates can land on different converter levels; at minimum
+	// reads and writes differ from each other for modern STT.
+	rd := m.Level(Op{Kind: isa.KindRead})
+	wr := m.Level(Op{Kind: isa.KindWrite})
+	if rd == wr {
+		t.Logf("read level %d == write level %d (acceptable, but unexpected for modern STT)", rd, wr)
+	}
+}
+
+func TestBreakdownAccounting(t *testing.T) {
+	b := Breakdown{ComputeEnergy: 4, BackupEnergy: 1, DeadEnergy: 2, RestoreEnergy: 1,
+		OnLatency: 3, OffLatency: 7, Instructions: 10, Restarts: 2}
+	if b.TotalEnergy() != 8 {
+		t.Errorf("TotalEnergy = %g", b.TotalEnergy())
+	}
+	if b.TotalLatency() != 10 {
+		t.Errorf("TotalLatency = %g", b.TotalLatency())
+	}
+	if b.Share(b.DeadEnergy) != 0.25 {
+		t.Errorf("Share = %g", b.Share(b.DeadEnergy))
+	}
+	var zero Breakdown
+	if zero.Share(1) != 0 {
+		t.Errorf("zero-total share should be 0")
+	}
+	b2 := b
+	b2.Add(b)
+	if b2.TotalEnergy() != 16 || b2.Instructions != 20 || b2.Restarts != 4 {
+		t.Errorf("Add wrong: %+v", b2)
+	}
+	if s := b.String(); !strings.Contains(s, "restarts") {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+func TestAreaReproducesTableIII(t *testing.T) {
+	// Table III rows (total memory → area).
+	cases := []struct {
+		cfg  *mtj.Config
+		mb   int64
+		want float64
+	}{
+		{mtj.ModernSTT(), 64, 50.98},
+		{mtj.ModernSTT(), 8, 6.37}, // paper rounds via benchmark rows: 5.43 uses effective size; see EXPERIMENTS.md
+		{mtj.ProjectedSTT(), 64, 38.67},
+		{mtj.ProjectedSHE(), 64, 77.34},
+		{mtj.ModernSTT(), 1, 0.797},
+	}
+	for _, c := range cases {
+		got := Area(c.cfg, c.mb<<20)
+		if !almost(got, c.want, 0.02) {
+			t.Errorf("Area(%s, %d MB) = %.3f, want about %.3f", c.cfg.Name, c.mb, got, c.want)
+		}
+	}
+	if AreaPerMB(mtj.ProjectedSHE()) != 2*AreaPerMB(mtj.ProjectedSTT()) {
+		t.Errorf("SHE cell should be twice the projected STT cell")
+	}
+}
+
+func TestFitCapacity(t *testing.T) {
+	const mb = 1 << 20
+	cases := []struct{ in, want int64 }{
+		{1, mb},
+		{mb, mb},
+		{mb + 1, 2 * mb},
+		{int64(34.5 * mb), 64 * mb},
+		{16 * mb, 16 * mb},
+		{250 * 1024, mb},
+	}
+	for _, c := range cases {
+		if got := FitCapacity(c.in); got != c.want {
+			t.Errorf("FitCapacity(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,44 @@
+package fft_test
+
+import (
+	"fmt"
+	"log"
+
+	"mouse/internal/fft"
+)
+
+// ExampleParams_Transform computes the fixed-point FFT of an impulse —
+// whose spectrum is flat — with the exact integer arithmetic the
+// compiled MOUSE program performs.
+func ExampleParams_Transform() {
+	p := fft.Params{N: 8, Width: 16, Frac: 8}
+	re := make([]int64, p.N)
+	im := make([]int64, p.N)
+	re[0] = 100
+	if err := p.Transform(re, im); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(re)
+	fmt.Println(im)
+	// Output:
+	// [100 100 100 100 100 100 100 100]
+	// [0 0 0 0 0 0 0 0]
+}
+
+// ExampleCompile shows the size of a compiled in-memory transform: the
+// twiddle factors unroll into shift-and-add constants, so the program
+// carries the whole FFT with no multiplier hardware.
+func ExampleCompile() {
+	p := fft.Params{N: 8, Width: 14, Frac: 7}
+	mp, err := fft.Compile(p, 1024, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("input points:", len(mp.InRe))
+	fmt.Println("output bins:", len(mp.OutRe))
+	fmt.Println("has instructions:", len(mp.Prog) > 1000)
+	// Output:
+	// input points: 8
+	// output bins: 8
+	// has instructions: true
+}

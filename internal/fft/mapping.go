@@ -1,0 +1,176 @@
+package fft
+
+import (
+	"fmt"
+
+	"mouse/internal/compile"
+	"mouse/internal/isa"
+)
+
+// Mapping is a compiled in-column FFT: each active column transforms an
+// independent complex signal (batch parallelism), every butterfly's
+// twiddle multiplication unrolled into shift-and-add constants in the
+// instruction stream. The bit-reversal permutation costs nothing: the
+// compiler simply relabels which rows hold which index.
+type Mapping struct {
+	Prog isa.Program
+
+	// InRe[i] / InIm[i] list the rows (LSB first) to load sample i's
+	// real/imaginary parts into, per column.
+	InRe, InIm [][]int
+
+	// OutRe[k] / OutIm[k] list the rows of output bin k.
+	OutRe, OutIm [][]int
+
+	// Columns is the batch width.
+	Columns int
+
+	// Gates is the logic-gate count of one transform.
+	Gates int
+}
+
+// Compile builds the MOUSE program for the transform, batched over
+// batchCols columns on tiles with the given row count.
+func Compile(p Params, rows, batchCols int) (*Mapping, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if batchCols < 1 || batchCols > isa.Cols {
+		return nil, fmt.Errorf("fft: batch width %d out of range", batchCols)
+	}
+	b := compile.NewBuilder(rows)
+	cols := make([]uint16, batchCols)
+	for i := range cols {
+		cols[i] = uint16(i)
+	}
+	b.ActivateBroadcast(cols)
+
+	// Allocate the signal in bit-reversed positions so the DIT stages
+	// run on naturally ordered indices.
+	re := make([]compile.Word, p.N)
+	im := make([]compile.Word, p.N)
+	m := &Mapping{Columns: batchCols, InRe: make([][]int, p.N), InIm: make([][]int, p.N)}
+	for i := 0; i < p.N; i++ {
+		j := p.bitReverse(i)
+		re[j] = b.AllocWord(p.Width, 0)
+		im[j] = b.AllocWord(p.Width, 1)
+		m.InRe[i] = wordRows(re[j])
+		m.InIm[i] = wordRows(im[j])
+	}
+
+	ext := p.ExtWidth()
+	// mulAdd computes (wre*x - s*wim*y) >> Frac at Width, through the
+	// extended width so the products cannot wrap.
+	mulAdd := func(x, y compile.Word, wre, wim int64, subtract bool) compile.Word {
+		xe := b.SignExtend(x, ext)
+		ye := b.SignExtend(y, ext)
+		px := b.MulConstFixed(xe, wre)
+		py := b.MulConstFixed(ye, wim)
+		sum := b.AddFixed(px, py, subtract)
+		sh := b.AshrFixed(sum, p.Frac)
+		b.FreeWord(xe)
+		b.FreeWord(ye)
+		b.FreeWord(px)
+		b.FreeWord(py)
+		b.FreeWord(sum)
+		out := make(compile.Word, p.Width)
+		copy(out, sh[:p.Width])
+		for i := p.Width; i < len(sh); i++ {
+			b.Free(sh[i])
+		}
+		return out
+	}
+
+	for size := 2; size <= p.N; size <<= 1 {
+		half := size / 2
+		step := p.N / size
+		for start := 0; start < p.N; start += size {
+			for k := 0; k < half; k++ {
+				a, bi := start+k, start+k+half
+				wre, wim := p.Twiddle(k * step)
+				tr := mulAdd(re[bi], im[bi], wre, wim, true)  // wre·re − wim·im
+				ti := mulAdd(im[bi], re[bi], wre, wim, false) // wre·im + wim·re
+				newBRe := b.AddFixed(re[a], tr, true)
+				newBIm := b.AddFixed(im[a], ti, true)
+				newARe := b.AddFixed(re[a], tr, false)
+				newAIm := b.AddFixed(im[a], ti, false)
+				b.FreeWord(tr)
+				b.FreeWord(ti)
+				b.FreeWord(re[a])
+				b.FreeWord(im[a])
+				b.FreeWord(re[bi])
+				b.FreeWord(im[bi])
+				re[a], im[a] = newARe, newAIm
+				re[bi], im[bi] = newBRe, newBIm
+			}
+		}
+	}
+
+	prog, err := b.Program()
+	if err != nil {
+		return nil, err
+	}
+	m.Prog = prog
+	m.Gates = b.GateCount()
+	for i := 0; i < p.N; i++ {
+		m.OutRe = append(m.OutRe, wordRows(re[i]))
+		m.OutIm = append(m.OutIm, wordRows(im[i]))
+	}
+	return m, nil
+}
+
+func wordRows(w compile.Word) []int {
+	rows := make([]int, len(w))
+	for i, bit := range w {
+		rows[i] = bit.Row
+	}
+	return rows
+}
+
+// DecodeSigned reconstructs a two's-complement value from bits read at
+// the mapped rows.
+func DecodeSigned(bits []int) int64 {
+	var v uint64
+	for i, bit := range bits {
+		v |= uint64(bit&1) << i
+	}
+	if len(bits) < 64 && bits[len(bits)-1] == 1 {
+		v |= ^uint64(0) << len(bits)
+	}
+	return int64(v)
+}
+
+// ButterflyGates returns the gate count of one representative butterfly
+// (a 45° twiddle, the densest constant), measured by compiling it — the
+// unit cost the paper-scale workload model multiplies out.
+func ButterflyGates(p Params) (int, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	b := compile.NewBuilder(isa.Rows)
+	b.ActivateBroadcast([]uint16{0})
+	re0 := b.AllocWord(p.Width, 0)
+	im0 := b.AllocWord(p.Width, 1)
+	re1 := b.AllocWord(p.Width, 0)
+	im1 := b.AllocWord(p.Width, 1)
+	wre, wim := p.Twiddle(p.N / 8) // 45°: both components non-trivial
+	ext := p.ExtWidth()
+	xe := b.SignExtend(re1, ext)
+	ye := b.SignExtend(im1, ext)
+	px := b.MulConstFixed(xe, wre)
+	py := b.MulConstFixed(ye, wim)
+	tr := b.AshrFixed(b.AddFixed(px, py, true), p.Frac)
+	xe2 := b.SignExtend(im1, ext)
+	ye2 := b.SignExtend(re1, ext)
+	px2 := b.MulConstFixed(xe2, wre)
+	py2 := b.MulConstFixed(ye2, wim)
+	ti := b.AshrFixed(b.AddFixed(px2, py2, false), p.Frac)
+	b.AddFixed(re0, tr[:p.Width], true)
+	b.AddFixed(im0, ti[:p.Width], true)
+	b.AddFixed(re0, tr[:p.Width], false)
+	b.AddFixed(im0, ti[:p.Width], false)
+	if b.Err() != nil {
+		return 0, b.Err()
+	}
+	return b.GateCount(), nil
+}

@@ -1,0 +1,195 @@
+package isa
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"mouse/internal/mtj"
+)
+
+// The assembler syntax mirrors Instruction.String(), one instruction per
+// line:
+//
+//	RD <tile> <row>              read a row into the memory buffer
+//	WR <tile> <row> [rot]        write the memory buffer to a row,
+//	                             optionally rotated by rot columns
+//	PRE0 <row> | PRE1 <row>      preset a row in the active columns
+//	ACT (*|T<tile>) C <col>...   activate up to 5 listed columns
+//	ACT (*|T<tile>) R <start> <count> [stride]
+//	                             activate count columns from start
+//	<GATE> <in>... <out>         logic gate, e.g. NAND2 0 2 1
+//
+// '#' and ';' start comments; blank lines are ignored.
+
+var gateByName = func() map[string]mtj.GateKind {
+	m := make(map[string]mtj.GateKind, mtj.NumGates)
+	for g := mtj.GateKind(0); g.Valid(); g++ {
+		m[g.String()] = g
+	}
+	return m
+}()
+
+// ParseLine assembles a single line into an instruction. It returns
+// ok=false for blank and comment-only lines.
+func ParseLine(line string) (in Instruction, ok bool, err error) {
+	if i := strings.IndexAny(line, "#;"); i >= 0 {
+		line = line[:i]
+	}
+	fields := strings.Fields(line)
+	if len(fields) == 0 {
+		return Instruction{}, false, nil
+	}
+	op := strings.ToUpper(fields[0])
+	args := fields[1:]
+
+	num := func(s string) (int, error) {
+		v, err := strconv.Atoi(s)
+		if err != nil || v < 0 {
+			return 0, fmt.Errorf("isa: bad number %q", s)
+		}
+		return v, nil
+	}
+	nums := func(ss []string) ([]int, error) {
+		out := make([]int, len(ss))
+		for i, s := range ss {
+			v, err := num(s)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+
+	switch op {
+	case "RD", "WR":
+		if len(args) != 2 && !(op == "WR" && len(args) == 3) {
+			return Instruction{}, false, fmt.Errorf("isa: %s takes tile and row (WR also accepts a rotation)", op)
+		}
+		v, err := nums(args)
+		if err != nil {
+			return Instruction{}, false, err
+		}
+		switch {
+		case op == "RD":
+			in = Read(v[0], v[1])
+		case len(v) == 3:
+			in = WriteRot(v[0], v[1], v[2])
+		default:
+			in = Write(v[0], v[1])
+		}
+	case "PRE0", "PRE1":
+		if len(args) != 1 {
+			return Instruction{}, false, fmt.Errorf("isa: %s takes a row", op)
+		}
+		row, err := num(args[0])
+		if err != nil {
+			return Instruction{}, false, err
+		}
+		val := mtj.P
+		if op == "PRE1" {
+			val = mtj.AP
+		}
+		in = Preset(row, val)
+	case "ACT":
+		if len(args) < 3 {
+			return Instruction{}, false, fmt.Errorf("isa: ACT takes a target, a mode, and arguments")
+		}
+		broadcast := false
+		tile := 0
+		switch {
+		case args[0] == "*":
+			broadcast = true
+		case strings.HasPrefix(strings.ToUpper(args[0]), "T"):
+			t, err := num(args[0][1:])
+			if err != nil {
+				return Instruction{}, false, err
+			}
+			tile = t
+		default:
+			return Instruction{}, false, fmt.Errorf("isa: ACT target must be * or T<tile>, got %q", args[0])
+		}
+		mode := strings.ToUpper(args[1])
+		v, err := nums(args[2:])
+		if err != nil {
+			return Instruction{}, false, err
+		}
+		switch mode {
+		case "C":
+			cols := make([]uint16, len(v))
+			for i, c := range v {
+				cols[i] = uint16(c)
+			}
+			in = ActList(broadcast, tile, cols)
+		case "R":
+			if len(v) < 2 || len(v) > 3 {
+				return Instruction{}, false, fmt.Errorf("isa: ACT R takes start, count, and optional stride")
+			}
+			stride := 1
+			if len(v) == 3 {
+				stride = v[2]
+			}
+			in = ActRange(broadcast, tile, v[0], v[1], stride)
+		default:
+			return Instruction{}, false, fmt.Errorf("isa: ACT mode must be C or R, got %q", mode)
+		}
+	default:
+		g, isGate := gateByName[op]
+		if !isGate {
+			return Instruction{}, false, fmt.Errorf("isa: unknown mnemonic %q", op)
+		}
+		arity := mtj.Spec(g).Inputs
+		if len(args) != arity+1 {
+			return Instruction{}, false, fmt.Errorf("isa: %s takes %d inputs and an output", op, arity)
+		}
+		v, err := nums(args)
+		if err != nil {
+			return Instruction{}, false, err
+		}
+		in = Logic(g, v[:arity], v[arity])
+	}
+	if err := in.Validate(); err != nil {
+		return Instruction{}, false, err
+	}
+	return in, true, nil
+}
+
+// Parse assembles a whole program from r.
+func Parse(r io.Reader) (Program, error) {
+	var p Program
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		in, ok, err := ParseLine(sc.Text())
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		if ok {
+			p = append(p, in)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// ParseString assembles a program from source text.
+func ParseString(src string) (Program, error) {
+	return Parse(strings.NewReader(src))
+}
+
+// Format disassembles the program, one instruction per line.
+func Format(p Program, w io.Writer) error {
+	for i := range p {
+		if _, err := fmt.Fprintln(w, p[i].String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,162 @@
+package isa
+
+import (
+	"fmt"
+
+	"mouse/internal/mtj"
+)
+
+// Opcode assignments. The 4-bit opcode space is fully used: three
+// memory/configuration opcodes, a preset, and one opcode per gate kind.
+const (
+	opRead   = 0
+	opWrite  = 1
+	opPreset = 2
+	opAct    = 3
+	opGate0  = 4 // opGate0 + gate kind, for the 12 gates
+)
+
+// Bit-field layout (LSB-first offsets within the 64-bit word).
+const (
+	// Memory operations: | op:4 | tile:9 | row:10 | rot:10 (writes) |
+	memTileShift = 4
+	memRowShift  = memTileShift + TileBits
+	memRotShift  = memRowShift + RowBits
+
+	// Preset: | op:4 | value:1 | row:10 |
+	preValueShift = 4
+	preRowShift   = preValueShift + 1
+
+	// Logic: | op:4 | in1:10 | in2:10 | in3:10 | out:10 |
+	logIn1Shift = 4
+	logIn2Shift = logIn1Shift + RowBits
+	logIn3Shift = logIn2Shift + RowBits
+	logOutShift = logIn3Shift + RowBits
+
+	// Activation: | op:4 | tile:9 | ranged:1 | payload |
+	// List payload: five 10-bit columns (short lists repeat the last
+	// column; the decoder de-duplicates). Exactly fills the word.
+	// Ranged payload: | start:10 | count-1:10 | stride:10 |
+	actTileShift   = 4
+	actRangedShift = actTileShift + TileBits
+	actPayload     = actRangedShift + 1
+)
+
+func field(w uint64, shift, bits uint) uint64 {
+	return (w >> shift) & ((1 << bits) - 1)
+}
+
+// Encode packs the instruction into its 64-bit word. The instruction must
+// validate.
+func Encode(in Instruction) (uint64, error) {
+	if err := in.Validate(); err != nil {
+		return 0, err
+	}
+	switch in.Kind {
+	case KindRead, KindWrite:
+		op := uint64(opRead)
+		if in.Kind == KindWrite {
+			op = opWrite
+		}
+		return op | uint64(in.Tile)<<memTileShift | uint64(in.Row)<<memRowShift |
+			uint64(in.Rot)<<memRotShift, nil
+	case KindPreset:
+		return opPreset | uint64(in.Value.Bit())<<preValueShift | uint64(in.Row)<<preRowShift, nil
+	case KindLogic:
+		w := uint64(opGate0 + uint8(in.Gate))
+		w |= uint64(in.In[0]) << logIn1Shift
+		w |= uint64(in.In[1]) << logIn2Shift
+		w |= uint64(in.In[2]) << logIn3Shift
+		w |= uint64(in.Out) << logOutShift
+		return w, nil
+	case KindAct:
+		w := uint64(opAct)
+		tile := uint64(in.Tile)
+		if in.Broadcast {
+			tile = BroadcastTile
+		}
+		w |= tile << actTileShift
+		if in.Ranged {
+			w |= 1 << actRangedShift
+			w |= uint64(in.Start) << actPayload
+			w |= uint64(in.Count-1) << (actPayload + ColBits)
+			w |= uint64(in.Stride) << (actPayload + 2*ColBits)
+			return w, nil
+		}
+		// Pad short lists by repeating the final column.
+		last := in.Cols[len(in.Cols)-1]
+		for i := 0; i < MaxActList; i++ {
+			c := last
+			if i < len(in.Cols) {
+				c = in.Cols[i]
+			}
+			w |= uint64(c) << (actPayload + uint(i)*ColBits)
+		}
+		return w, nil
+	}
+	return 0, fmt.Errorf("isa: cannot encode kind %d", uint8(in.Kind))
+}
+
+// Decode unpacks a 64-bit instruction word. Activate Columns lists come
+// back de-duplicated (padding repeats collapse away).
+func Decode(w uint64) (Instruction, error) {
+	op := field(w, 0, OpcodeBits)
+	switch {
+	case op == opRead || op == opWrite:
+		in := Instruction{
+			Kind: KindRead,
+			Tile: uint16(field(w, memTileShift, TileBits)),
+			Row:  uint16(field(w, memRowShift, RowBits)),
+			Rot:  uint16(field(w, memRotShift, ColBits)),
+		}
+		if op == opWrite {
+			in.Kind = KindWrite
+		}
+		return in, in.Validate()
+	case op == opPreset:
+		in := Instruction{
+			Kind:  KindPreset,
+			Value: mtj.FromBit(int(field(w, preValueShift, 1))),
+			Row:   uint16(field(w, preRowShift, RowBits)),
+		}
+		return in, in.Validate()
+	case op == opAct:
+		in := Instruction{Kind: KindAct}
+		tile := uint16(field(w, actTileShift, TileBits))
+		if tile == BroadcastTile {
+			in.Broadcast = true
+		} else {
+			in.Tile = tile
+		}
+		if field(w, actRangedShift, 1) == 1 {
+			in.Ranged = true
+			in.Start = uint16(field(w, actPayload, ColBits))
+			in.Count = uint16(field(w, actPayload+ColBits, ColBits)) + 1
+			in.Stride = uint16(field(w, actPayload+2*ColBits, ColBits))
+		} else {
+			seen := make(map[uint16]bool, MaxActList)
+			for i := 0; i < MaxActList; i++ {
+				c := uint16(field(w, actPayload+uint(i)*ColBits, ColBits))
+				if !seen[c] {
+					seen[c] = true
+					in.Cols = append(in.Cols, c)
+				}
+			}
+		}
+		return in, in.Validate()
+	default:
+		g := mtj.GateKind(op - opGate0)
+		if !g.Valid() {
+			return Instruction{}, fmt.Errorf("isa: bad opcode %d", op)
+		}
+		in := Instruction{
+			Kind: KindLogic,
+			Gate: g,
+			Out:  uint16(field(w, logOutShift, RowBits)),
+		}
+		in.In[0] = uint16(field(w, logIn1Shift, RowBits))
+		in.In[1] = uint16(field(w, logIn2Shift, RowBits))
+		in.In[2] = uint16(field(w, logIn3Shift, RowBits))
+		return in, in.Validate()
+	}
+}

@@ -1,0 +1,274 @@
+package isa
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"mouse/internal/mtj"
+)
+
+// canonical reduces an instruction to a comparable form: ACT column lists
+// compare as expanded active sets (encoding pads short lists).
+func canonical(in Instruction) Instruction {
+	if in.Kind == KindAct && !in.Ranged {
+		in.Cols = in.ActiveColumns()
+	}
+	return in
+}
+
+func roundTrip(t *testing.T, in Instruction) {
+	t.Helper()
+	w, err := Encode(in)
+	if err != nil {
+		t.Fatalf("encode %v: %v", in, err)
+	}
+	out, err := Decode(w)
+	if err != nil {
+		t.Fatalf("decode %v (word %#x): %v", in, w, err)
+	}
+	if !reflect.DeepEqual(canonical(in), canonical(out)) {
+		t.Errorf("round trip: %v -> %#x -> %v", in, w, out)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	cases := []Instruction{
+		Read(0, 0),
+		Read(MaxTiles-1, Rows-1),
+		Write(37, 512),
+		Preset(0, mtj.P),
+		Preset(Rows-1, mtj.AP),
+		Logic(mtj.NOT, []int{2}, 1),
+		Logic(mtj.NAND2, []int{0, 2}, 1),
+		Logic(mtj.MAJ3, []int{1, 3, 5}, 1022),
+		ActList(true, 0, []uint16{0}),
+		ActList(false, 13, []uint16{1, 2, 3, 4, 5}),
+		ActList(false, BroadcastTile-1, []uint16{Cols - 1}),
+		ActRange(true, 0, 0, Cols, 1),
+		ActRange(false, 7, 100, 50, 2),
+	}
+	for _, in := range cases {
+		roundTrip(t, in)
+	}
+}
+
+func TestEncodeRejectsInvalid(t *testing.T) {
+	bad := Read(MaxTiles, 0)
+	if _, err := Encode(bad); err == nil {
+		t.Errorf("encoding an invalid instruction succeeded")
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	// A logic opcode with same-parity rows must not decode.
+	w, err := Encode(Logic(mtj.NAND2, []int{0, 2}, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w |= 1 << logIn1Shift // flip input row 0 -> 1, colliding with output parity
+	if _, err := Decode(w); err == nil {
+		t.Errorf("decoding a parity-violating word succeeded")
+	}
+}
+
+// randomInstruction builds a random valid instruction.
+func randomInstruction(rng *rand.Rand) Instruction {
+	evenRow := func() int { return int(rng.Intn(Rows/2)) * 2 }
+	for {
+		var in Instruction
+		switch rng.Intn(5) {
+		case 0:
+			in = Read(rng.Intn(MaxTiles), rng.Intn(Rows))
+		case 1:
+			in = Write(rng.Intn(MaxTiles), rng.Intn(Rows))
+		case 2:
+			in = Preset(rng.Intn(Rows), mtj.FromBit(rng.Intn(2)))
+		case 3:
+			if rng.Intn(2) == 0 {
+				n := 1 + rng.Intn(MaxActList)
+				cols := make([]uint16, n)
+				for i := range cols {
+					cols[i] = uint16(rng.Intn(Cols))
+				}
+				in = ActList(rng.Intn(2) == 0, rng.Intn(BroadcastTile), cols)
+			} else {
+				in = ActRange(rng.Intn(2) == 0, rng.Intn(BroadcastTile),
+					rng.Intn(Cols), 1+rng.Intn(Cols), rng.Intn(Cols))
+			}
+		case 4:
+			g := mtj.GateKind(rng.Intn(mtj.NumGates))
+			arity := mtj.Spec(g).Inputs
+			// Distinct even input rows, odd output row.
+			ins := make([]int, 0, arity)
+			used := map[int]bool{}
+			for len(ins) < arity {
+				r := evenRow()
+				if !used[r] {
+					used[r] = true
+					ins = append(ins, r)
+				}
+			}
+			in = Logic(g, ins, evenRow()+1)
+		}
+		if in.Validate() == nil {
+			return in
+		}
+	}
+}
+
+func TestEncodeDecodeProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	prop := func() bool {
+		in := randomInstruction(rng)
+		w, err := Encode(in)
+		if err != nil {
+			return false
+		}
+		out, err := Decode(w)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(canonical(in), canonical(out))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAssemblerRoundTrip(t *testing.T) {
+	src := `
+# a short MOUSE program
+ACT * R 0 4 1      ; activate 4 columns everywhere
+PRE0 1
+NAND2 0 2 1
+NOT 2 3            # invert
+RD 0 1
+WR 1 1
+ACT T3 C 9 11
+PRE1 5
+MAJ3 0 2 4 5
+`
+	p, err := ParseString(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if len(p) != 9 {
+		t.Fatalf("parsed %d instructions, want 9", len(p))
+	}
+	var buf bytes.Buffer
+	if err := Format(p, &buf); err != nil {
+		t.Fatalf("format: %v", err)
+	}
+	p2, err := Parse(&buf)
+	if err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+	if !reflect.DeepEqual(p, p2) {
+		t.Errorf("assembler round trip mismatch:\n%v\n%v", p, p2)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"FROB 1 2",
+		"RD 1",
+		"RD x y",
+		"PRE0",
+		"NAND2 0 2",
+		"NAND2 0 1 2", // parity violation
+		"ACT",
+		"ACT Q C 1",
+		"ACT * X 1",
+		"ACT * R 5",
+		"RD -1 2",
+	}
+	for _, src := range bad {
+		if _, _, err := ParseLine(src); err == nil {
+			t.Errorf("ParseLine(%q) succeeded", src)
+		}
+	}
+}
+
+func TestParseLineSkipsBlanks(t *testing.T) {
+	for _, src := range []string{"", "   ", "# comment", "; comment"} {
+		_, ok, err := ParseLine(src)
+		if ok || err != nil {
+			t.Errorf("ParseLine(%q) = ok=%v err=%v", src, ok, err)
+		}
+	}
+}
+
+func TestImageRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	p := make(Program, 200)
+	for i := range p {
+		p[i] = randomInstruction(rng)
+	}
+	var buf bytes.Buffer
+	if err := WriteImage(p, &buf); err != nil {
+		t.Fatalf("write image: %v", err)
+	}
+	p2, err := ReadImage(&buf)
+	if err != nil {
+		t.Fatalf("read image: %v", err)
+	}
+	if len(p2) != len(p) {
+		t.Fatalf("image returned %d instructions, want %d", len(p2), len(p))
+	}
+	for i := range p {
+		if !reflect.DeepEqual(canonical(p[i]), canonical(p2[i])) {
+			t.Fatalf("instruction %d: %v != %v", i, p[i], p2[i])
+		}
+	}
+}
+
+func TestImageRejectsBadMagic(t *testing.T) {
+	if _, err := ReadImage(bytes.NewReader([]byte("NOTMOUSE    "))); err == nil {
+		t.Errorf("bad magic accepted")
+	}
+	if _, err := ReadImage(bytes.NewReader(nil)); err == nil {
+		t.Errorf("empty image accepted")
+	}
+}
+
+func TestImageTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	p := Program{Read(0, 0), Write(0, 1)}
+	if err := WriteImage(p, &buf); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-4]
+	if _, err := ReadImage(bytes.NewReader(trunc)); err == nil {
+		t.Errorf("truncated image accepted")
+	}
+}
+
+func TestWriteRotRoundTrip(t *testing.T) {
+	in := WriteRot(5, 100, 777)
+	roundTrip(t, in)
+	if in.String() != "WR 5 100 777" {
+		t.Errorf("String = %q", in.String())
+	}
+	p, err := ParseString("WR 5 100 777\nWR 5 100\nRD 1 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p[0].Rot != 777 || p[1].Rot != 0 {
+		t.Errorf("parsed rotations %d/%d", p[0].Rot, p[1].Rot)
+	}
+	if _, _, err := ParseLine("RD 1 2 3"); err == nil {
+		t.Errorf("rotated read accepted")
+	}
+	bad := WriteRot(0, 0, Cols)
+	if err := bad.Validate(); err == nil {
+		t.Errorf("out-of-range rotation accepted")
+	}
+	badRead := Read(0, 0)
+	badRead.Rot = 1
+	if err := badRead.Validate(); err == nil {
+		t.Errorf("read with rotation accepted")
+	}
+}

@@ -1,0 +1,81 @@
+package isa
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Program images are how instructions get preloaded into MOUSE's
+// instruction tiles before deployment (Section IV-B). The on-disk format
+// is a small header followed by one big-endian 64-bit word per
+// instruction.
+
+// imageMagic identifies a MOUSE program image.
+var imageMagic = [8]byte{'M', 'O', 'U', 'S', 'E', 'P', 'R', 'G'}
+
+const imageVersion = 1
+
+// WriteImage serializes the program to w as a binary image.
+func WriteImage(p Program, w io.Writer) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	if _, err := w.Write(imageMagic[:]); err != nil {
+		return err
+	}
+	hdr := make([]byte, 12)
+	binary.BigEndian.PutUint32(hdr[0:4], imageVersion)
+	binary.BigEndian.PutUint64(hdr[4:12], uint64(len(p)))
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	buf := make([]byte, 8)
+	for i := range p {
+		word, err := Encode(p[i])
+		if err != nil {
+			return fmt.Errorf("instruction %d: %w", i, err)
+		}
+		binary.BigEndian.PutUint64(buf, word)
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadImage deserializes a program image from r.
+func ReadImage(r io.Reader) (Program, error) {
+	var magic [8]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return nil, fmt.Errorf("isa: reading image magic: %w", err)
+	}
+	if magic != imageMagic {
+		return nil, fmt.Errorf("isa: not a MOUSE program image (magic %q)", magic[:])
+	}
+	hdr := make([]byte, 12)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return nil, fmt.Errorf("isa: reading image header: %w", err)
+	}
+	if v := binary.BigEndian.Uint32(hdr[0:4]); v != imageVersion {
+		return nil, fmt.Errorf("isa: unsupported image version %d", v)
+	}
+	n := binary.BigEndian.Uint64(hdr[4:12])
+	const maxInstructions = 1 << 28 // 2 GiB of instructions; sanity bound
+	if n > maxInstructions {
+		return nil, fmt.Errorf("isa: image declares %d instructions, beyond the %d limit", n, maxInstructions)
+	}
+	p := make(Program, 0, n)
+	buf := make([]byte, 8)
+	for i := uint64(0); i < n; i++ {
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return nil, fmt.Errorf("isa: reading instruction %d: %w", i, err)
+		}
+		in, err := Decode(binary.BigEndian.Uint64(buf))
+		if err != nil {
+			return nil, fmt.Errorf("isa: instruction %d: %w", i, err)
+		}
+		p = append(p, in)
+	}
+	return p, nil
+}

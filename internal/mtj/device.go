@@ -1,0 +1,54 @@
+package mtj
+
+// Device is a single MTJ. The zero value is a device in the P (logic 0)
+// state, matching an erased array.
+//
+// Switching is modelled as a threshold phenomenon: a current pulse changes
+// the state if and only if its magnitude reaches the critical switching
+// current and its duration reaches the switching time. A weaker or shorter
+// pulse leaves the state untouched (the free layer is thermally stable),
+// and a pulse in a given direction can only move the device toward that
+// direction's target state. These two properties together make every gate
+// operation idempotent under power interruption (Section V-A).
+type Device struct {
+	state State
+}
+
+// NewDevice returns a device initialized to state s.
+func NewDevice(s State) Device { return Device{state: s} }
+
+// State returns the current magnetic state.
+func (d *Device) State() State { return d.state }
+
+// Bit returns the logic value stored in the device.
+func (d *Device) Bit() int { return d.state.Bit() }
+
+// Set forces the device into state s. This models a completed write; use
+// ApplyPulse to model electrically driven (and interruptible) switching.
+func (d *Device) Set(s State) { d.state = s }
+
+// Resistance returns the device's present resistance under parameters p.
+func (d *Device) Resistance(p *Params) float64 { return p.Resistance(d.state) }
+
+// ApplyPulse drives a current of magnitude i amperes in direction dir
+// through the device for dur seconds. It returns true if the device
+// switched state.
+//
+// The pulse switches the device iff all of the following hold:
+//   - the device is not already in the direction's target state,
+//   - i >= p.SwitchCurrent,
+//   - dur >= p.SwitchTime.
+//
+// Re-applying a pulse after the device has switched is harmless: the
+// direction's target equals the current state, so nothing changes. This is
+// exactly the property Table I of the paper relies on.
+func (d *Device) ApplyPulse(p *Params, dir Direction, i, dur float64) bool {
+	if d.state == dir.Target() {
+		return false
+	}
+	if i < p.SwitchCurrent || dur < p.SwitchTime {
+		return false
+	}
+	d.state = dir.Target()
+	return true
+}

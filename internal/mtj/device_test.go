@@ -1,0 +1,136 @@
+package mtj
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDevicePulseThreshold(t *testing.T) {
+	p := Modern()
+	d := NewDevice(P)
+
+	// Sub-critical current: no switch.
+	if d.ApplyPulse(&p, TowardAP, p.SwitchCurrent*0.99, p.SwitchTime) {
+		t.Errorf("sub-critical current switched the device")
+	}
+	if d.State() != P {
+		t.Fatalf("state changed on failed pulse")
+	}
+
+	// Too-short pulse: no switch (this is the interrupted-operation case).
+	if d.ApplyPulse(&p, TowardAP, p.SwitchCurrent, p.SwitchTime*0.5) {
+		t.Errorf("short pulse switched the device")
+	}
+	if d.State() != P {
+		t.Fatalf("state changed on interrupted pulse")
+	}
+
+	// Full pulse: switches.
+	if !d.ApplyPulse(&p, TowardAP, p.SwitchCurrent, p.SwitchTime) {
+		t.Errorf("critical full-length pulse did not switch")
+	}
+	if d.State() != AP {
+		t.Fatalf("device not in AP after switching pulse")
+	}
+}
+
+func TestDevicePulseUnidirectional(t *testing.T) {
+	// The core idempotency primitive: a pulse direction can only move the
+	// device toward its own target, so repeating a pulse never undoes a
+	// completed switch (Table I, bottom-right cell).
+	p := Modern()
+	d := NewDevice(P)
+	huge := p.SwitchCurrent * 100
+
+	d.ApplyPulse(&p, TowardAP, huge, p.SwitchTime*10)
+	if d.State() != AP {
+		t.Fatalf("setup switch failed")
+	}
+	// Re-applying the same pulse (even much stronger, as happens when the
+	// output has switched to low resistance and the same voltage drives
+	// more current) leaves it at AP.
+	if d.ApplyPulse(&p, TowardAP, huge*10, p.SwitchTime*100) {
+		t.Errorf("repeat pulse toward AP reports a switch from AP")
+	}
+	if d.State() != AP {
+		t.Errorf("repeat pulse changed state: %v", d.State())
+	}
+}
+
+func TestDeviceSetAndResistance(t *testing.T) {
+	p := Modern()
+	d := NewDevice(P)
+	if d.Resistance(&p) != p.RP {
+		t.Errorf("P resistance = %g, want %g", d.Resistance(&p), p.RP)
+	}
+	d.Set(AP)
+	if d.Resistance(&p) != p.RAP {
+		t.Errorf("AP resistance = %g, want %g", d.Resistance(&p), p.RAP)
+	}
+	if d.Bit() != 1 {
+		t.Errorf("AP bit = %d, want 1", d.Bit())
+	}
+}
+
+func TestDeviceZeroValue(t *testing.T) {
+	var d Device
+	if d.State() != P || d.Bit() != 0 {
+		t.Errorf("zero-value device should be P/0, got %v", d.State())
+	}
+}
+
+// TestPulseIdempotencyProperty checks, over random pulse sequences, that
+// re-performing any pulse is idempotent: applying the same pulse twice
+// always leaves the device in the same state as applying it once.
+func TestPulseIdempotencyProperty(t *testing.T) {
+	p := Projected()
+	prop := func(startAP bool, dirAP bool, currentScale, durScale uint8) bool {
+		start := P
+		if startAP {
+			start = AP
+		}
+		dir := TowardP
+		if dirAP {
+			dir = TowardAP
+		}
+		i := p.SwitchCurrent * float64(currentScale) / 128.0
+		dur := p.SwitchTime * float64(durScale) / 128.0
+
+		once := NewDevice(start)
+		once.ApplyPulse(&p, dir, i, dur)
+
+		twice := NewDevice(start)
+		twice.ApplyPulse(&p, dir, i, dur)
+		twice.ApplyPulse(&p, dir, i, dur)
+
+		return once.State() == twice.State()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestInterruptedThenRepeatedPulse models Table I directly at the device
+// level: a pulse interrupted at any point, then re-performed in full,
+// always produces the same final state as an uninterrupted pulse.
+func TestInterruptedThenRepeatedPulse(t *testing.T) {
+	p := Modern()
+	for _, start := range []State{P, AP} {
+		for _, dir := range []Direction{TowardP, TowardAP} {
+			want := NewDevice(start)
+			want.ApplyPulse(&p, dir, p.SwitchCurrent*1.2, p.SwitchTime)
+
+			for frac := 0.0; frac <= 1.0; frac += 0.125 {
+				got := NewDevice(start)
+				// Interrupted pulse: only frac of the required duration.
+				got.ApplyPulse(&p, dir, p.SwitchCurrent*1.2, p.SwitchTime*frac)
+				// Power restored; the operation is re-performed in full.
+				got.ApplyPulse(&p, dir, p.SwitchCurrent*1.2, p.SwitchTime)
+				if got.State() != want.State() {
+					t.Errorf("start=%v dir=%v frac=%g: got %v, want %v",
+						start, dir, frac, got.State(), want.State())
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,28 @@
+// Package mtj models magnetic tunnel junction (MTJ) devices and the
+// resistor-network logic gates built from them, following the CRAM/MOUSE
+// device model (Resch et al., MICRO 2020, Section II).
+//
+// An MTJ is a two-terminal resistive device with two stable states:
+// parallel (P, low resistance, logic 0) and anti-parallel (AP, high
+// resistance, logic 1). Driving a sufficiently large current through the
+// device for a sufficiently long time switches its state; the *direction*
+// of the current selects the target state. Because a given current
+// direction can only move the device toward one state — never back — every
+// in-array logic operation is idempotent: re-performing an interrupted
+// gate can complete a pending switch but can never undo one. This is the
+// physical primitive behind MOUSE's intermittent-safety guarantee
+// (Table I of the paper).
+//
+// A two-input gate places the two input MTJs in parallel, in series with a
+// preset output MTJ (Fig. 1). Applying a bias voltage across the network
+// drives a current through the output whose magnitude depends on the input
+// states; the bias is chosen so the output switches exactly for the input
+// combinations the gate's truth table requires. The Bias solver in this
+// package computes that voltage window from the device parameters, and the
+// Network type evaluates the actual current for a given input combination.
+//
+// The package carries two device parameter sets from Table II of the paper
+// (modern and projected MTJs) and the spin-Hall-effect (SHE) cell variant
+// (Section II-D), in which writes and logic outputs are driven through a
+// low-resistance SHE channel instead of through the output MTJ itself.
+package mtj

@@ -1,0 +1,44 @@
+package mtj_test
+
+import (
+	"fmt"
+
+	"mouse/internal/mtj"
+)
+
+// ExampleDevice_ApplyPulse demonstrates the idempotency primitive: a
+// current direction can only move the device toward one state, so
+// re-performing an interrupted operation is always safe (Table I).
+func ExampleDevice_ApplyPulse() {
+	p := mtj.Modern()
+	d := mtj.NewDevice(mtj.P)
+
+	// Interrupted pulse: too short to switch.
+	d.ApplyPulse(&p, mtj.TowardAP, p.SwitchCurrent, p.SwitchTime/2)
+	fmt.Println("after interrupt:", d.State())
+
+	// Power restored: the operation is re-performed in full.
+	d.ApplyPulse(&p, mtj.TowardAP, p.SwitchCurrent, p.SwitchTime)
+	fmt.Println("after repeat:", d.State())
+
+	// Repeating again cannot undo the switch — the direction's target
+	// is already the current state.
+	d.ApplyPulse(&p, mtj.TowardAP, p.SwitchCurrent*100, p.SwitchTime*100)
+	fmt.Println("after another repeat:", d.State())
+	// Output:
+	// after interrupt: P
+	// after repeat: AP
+	// after another repeat: AP
+}
+
+// ExampleEvaluate shows the threshold-gate truth function used both by
+// the compiler and (via the resistor network) the functional array.
+func ExampleEvaluate() {
+	out := mtj.Evaluate(mtj.NAND2, []mtj.State{mtj.AP, mtj.AP})
+	fmt.Println("NAND(1,1) =", out.Bit())
+	out = mtj.Evaluate(mtj.MAJ3, []mtj.State{mtj.AP, mtj.P, mtj.AP})
+	fmt.Println("MAJ(1,0,1) =", out.Bit())
+	// Output:
+	// NAND(1,1) = 0
+	// MAJ(1,0,1) = 1
+}

@@ -1,0 +1,243 @@
+package mtj
+
+import (
+	"math"
+	"testing"
+)
+
+// allGates lists every gate kind for table-driven tests.
+func allGates() []GateKind {
+	gates := make([]GateKind, 0, NumGates)
+	for g := GateKind(0); g.Valid(); g++ {
+		gates = append(gates, g)
+	}
+	return gates
+}
+
+// truth returns the expected boolean function of each gate.
+func truth(g GateKind, bits []int) int {
+	and := func(xs []int) int {
+		for _, x := range xs {
+			if x == 0 {
+				return 0
+			}
+		}
+		return 1
+	}
+	or := func(xs []int) int {
+		for _, x := range xs {
+			if x == 1 {
+				return 1
+			}
+		}
+		return 0
+	}
+	sum := 0
+	for _, x := range bits {
+		sum += x
+	}
+	switch g {
+	case NOT:
+		return 1 - bits[0]
+	case BUF:
+		return bits[0]
+	case NAND2, NAND3:
+		return 1 - and(bits)
+	case AND2, AND3:
+		return and(bits)
+	case NOR2, NOR3:
+		return 1 - or(bits)
+	case OR2, OR3:
+		return or(bits)
+	case MAJ3:
+		if sum >= 2 {
+			return 1
+		}
+		return 0
+	case MIN3:
+		if sum >= 2 {
+			return 0
+		}
+		return 1
+	}
+	panic("unknown gate")
+}
+
+func inputCombos(n int) [][]State {
+	var combos [][]State
+	for v := 0; v < 1<<n; v++ {
+		in := make([]State, n)
+		for i := range in {
+			in[i] = FromBit((v >> i) & 1)
+		}
+		combos = append(combos, in)
+	}
+	return combos
+}
+
+func TestEvaluateMatchesTruthTables(t *testing.T) {
+	for _, g := range allGates() {
+		spec := Spec(g)
+		for _, in := range inputCombos(spec.Inputs) {
+			bits := make([]int, len(in))
+			for i, s := range in {
+				bits[i] = s.Bit()
+			}
+			want := truth(g, bits)
+			if got := Evaluate(g, in).Bit(); got != want {
+				t.Errorf("%s%v = %d, want %d", g, bits, got, want)
+			}
+		}
+	}
+}
+
+func TestBiasFeasibleForAllGatesAndConfigs(t *testing.T) {
+	for _, cfg := range Configs() {
+		for _, g := range allGates() {
+			v, err := Bias(g, cfg)
+			if err != nil {
+				t.Errorf("%s on %s: %v", g, cfg.Name, err)
+				continue
+			}
+			lo, hi := BiasWindow(g, cfg)
+			if !(lo < v && v < hi) {
+				t.Errorf("%s on %s: bias %g outside window [%g, %g)", g, cfg.Name, v, lo, hi)
+			}
+		}
+	}
+}
+
+// TestNetworkMatchesTruthTable is the central device-physics check: for
+// every gate, configuration, and input combination, the resistor-network
+// current compared against the switching threshold yields exactly the
+// gate's truth table.
+func TestNetworkMatchesTruthTable(t *testing.T) {
+	for _, cfg := range Configs() {
+		for _, g := range allGates() {
+			spec := Spec(g)
+			v, err := Bias(g, cfg)
+			if err != nil {
+				t.Fatalf("%s on %s: %v", g, cfg.Name, err)
+			}
+			for _, in := range inputCombos(spec.Inputs) {
+				i := DriveCurrent(g, cfg, v, in)
+				out := NewDevice(spec.Preset)
+				out.ApplyPulse(&cfg.P, spec.Dir, i, cfg.P.SwitchTime)
+				want := Evaluate(g, in)
+				if out.State() != want {
+					t.Errorf("%s on %s, inputs %v: network gives %v, truth table gives %v (I=%g A, Ic=%g A)",
+						g, cfg.Name, in, out.State(), want, i, cfg.P.SwitchCurrent)
+				}
+			}
+		}
+	}
+}
+
+func TestSHEImprovesMargins(t *testing.T) {
+	// Section II-D: with the output MTJ out of the series path, input
+	// combinations become easier to distinguish.
+	stt := ProjectedSTT()
+	she := ProjectedSHE()
+	for _, g := range []GateKind{NAND2, AND2, NOR2, OR2, MAJ3} {
+		ms := RelativeMargin(g, stt)
+		mh := RelativeMargin(g, she)
+		if mh <= ms {
+			t.Errorf("%s: SHE margin %.3f not better than STT margin %.3f", g, mh, ms)
+		}
+	}
+}
+
+func TestSHEReducesWriteEnergy(t *testing.T) {
+	stt := WriteEnergy(ProjectedSTT())
+	she := WriteEnergy(ProjectedSHE())
+	if she >= stt {
+		t.Errorf("SHE write energy %g >= STT %g; the separate write path should be cheaper", she, stt)
+	}
+	if she <= 0 || stt <= 0 {
+		t.Errorf("write energies must be positive: she=%g stt=%g", she, stt)
+	}
+}
+
+func TestSHEReducesGateEnergy(t *testing.T) {
+	for _, g := range []GateKind{NAND2, AND2, NOT, MAJ3} {
+		stt := GateEnergy(g, ProjectedSTT())
+		she := GateEnergy(g, ProjectedSHE())
+		if she >= stt {
+			t.Errorf("%s: SHE gate energy %g >= STT %g", g, she, stt)
+		}
+	}
+}
+
+func TestProjectedBeatsModernEnergy(t *testing.T) {
+	// Projected MTJs switch with 3 µA instead of 40 µA; gate energy must
+	// drop by well over an order of magnitude.
+	for _, g := range []GateKind{NAND2, AND2} {
+		m := GateEnergy(g, ModernSTT())
+		p := GateEnergy(g, ProjectedSTT())
+		if p >= m/10 {
+			t.Errorf("%s: projected energy %g not <10%% of modern %g", g, p, m)
+		}
+	}
+}
+
+func TestEnergiesPositiveAndFinite(t *testing.T) {
+	for _, cfg := range Configs() {
+		for _, g := range allGates() {
+			e := GateEnergy(g, cfg)
+			if e <= 0 || math.IsInf(e, 0) || math.IsNaN(e) {
+				t.Errorf("%s on %s: gate energy %g", g, cfg.Name, e)
+			}
+		}
+		for name, e := range map[string]float64{
+			"write": WriteEnergy(cfg),
+			"read":  ReadEnergy(cfg),
+		} {
+			if e <= 0 || math.IsInf(e, 0) || math.IsNaN(e) {
+				t.Errorf("%s on %s: energy %g", name, cfg.Name, e)
+			}
+		}
+	}
+}
+
+func TestReadCurrentAvoidsDisturb(t *testing.T) {
+	for _, cfg := range Configs() {
+		v := 0.5 * cfg.P.SwitchCurrent * cfg.P.RP
+		// Worst case read current flows through the P-state device.
+		i := v / cfg.P.RP
+		if i >= cfg.P.SwitchCurrent {
+			t.Errorf("%s: read current %g can disturb the cell (Ic=%g)", cfg.Name, i, cfg.P.SwitchCurrent)
+		}
+	}
+}
+
+func TestSpecPanicsOnInvalidGate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("Spec on invalid gate did not panic")
+		}
+	}()
+	Spec(GateKind(200))
+}
+
+func TestEvaluatePanicsOnArity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("Evaluate with wrong arity did not panic")
+		}
+	}()
+	Evaluate(NAND2, []State{P})
+}
+
+func TestGateStrings(t *testing.T) {
+	seen := map[string]bool{}
+	for _, g := range allGates() {
+		s := g.String()
+		if s == "" || seen[s] {
+			t.Errorf("gate %d has empty or duplicate name %q", g, s)
+		}
+		seen[s] = true
+	}
+	if GateKind(200).String() == "" {
+		t.Errorf("invalid gate should still stringify")
+	}
+}

@@ -1,0 +1,108 @@
+package mtj
+
+import "testing"
+
+func TestVariationToleranceBasics(t *testing.T) {
+	for _, cfg := range Configs() {
+		for g := GateKind(0); g.Valid(); g++ {
+			tol := VariationTolerance(g, cfg)
+			if tol < 0 || tol >= 0.5 {
+				t.Errorf("%s on %s: tolerance %g out of range", g, cfg.Name, tol)
+			}
+			if tol == 0 {
+				t.Errorf("%s on %s: no variation tolerance at all", g, cfg.Name)
+			}
+			// The nominal bias must work at the reported tolerance and
+			// fail just above it.
+			v, err := Bias(g, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !gateWorks(g, cfg, v, tol*0.999) {
+				t.Errorf("%s on %s: fails below reported tolerance", g, cfg.Name)
+			}
+			if gateWorks(g, cfg, v, tol+0.01) {
+				t.Errorf("%s on %s: works above reported tolerance", g, cfg.Name)
+			}
+		}
+	}
+}
+
+// TestSHEMoreRobustThanSTT quantifies the Section II-D claim: removing
+// the output MTJ from the current path makes input states easier to
+// distinguish, so the SHE cell tolerates more device variation.
+func TestSHEMoreRobustThanSTT(t *testing.T) {
+	stt := ProjectedSTT()
+	she := ProjectedSHE()
+	sttTol, sttWorst := MinVariationTolerance(stt)
+	sheTol, _ := MinVariationTolerance(she)
+	if sheTol <= sttTol {
+		t.Errorf("SHE min tolerance %.4f not above STT %.4f (worst STT gate: %v)", sheTol, sttTol, sttWorst)
+	}
+	t.Logf("min variation tolerance: STT %.1f%% (%v), SHE %.1f%%", sttTol*100, sttWorst, sheTol*100)
+}
+
+// TestVariationPhysics pins down the asymmetry behind the SHE cell's
+// robustness advantage. Gates that preset the output to P (the
+// NAND/NOR family, switching toward AP) benefit from projected MTJs'
+// higher TMR: more contrast between input combinations. Gates that
+// preset the output to AP (AND/OR family, toward P) get *worse* on
+// projected STT, because the 76 kΩ output sits in series with the
+// inputs and swamps their differences — the precise problem Section
+// II-D says the SHE channel removes from the path.
+func TestVariationPhysics(t *testing.T) {
+	modern, projected := ModernSTT(), ProjectedSTT()
+	// Toward-AP gates improve with TMR.
+	for _, g := range []GateKind{NOR2, NOR3, MIN3, NAND3} {
+		m, p := VariationTolerance(g, modern), VariationTolerance(g, projected)
+		if p <= m {
+			t.Errorf("%s: projected tolerance %.4f not above modern %.4f", g, p, m)
+		}
+	}
+	// Toward-P gates with high thresholds degrade on projected STT (the
+	// output RAP dominates the network).
+	for _, g := range []GateKind{OR3, MAJ3, OR2} {
+		m, p := VariationTolerance(g, modern), VariationTolerance(g, projected)
+		if p >= m {
+			t.Errorf("%s: projected tolerance %.4f unexpectedly above modern %.4f", g, p, m)
+		}
+		// ...and SHE repairs exactly these gates.
+		s := VariationTolerance(g, ProjectedSHE())
+		if s <= p {
+			t.Errorf("%s: SHE tolerance %.4f not above projected STT %.4f", g, s, p)
+		}
+	}
+}
+
+// TestArrayWithVariationStillComputes ties the tolerance number back to
+// the functional array: at a variation inside the reported tolerance,
+// biasing and thresholding still produce correct truth tables.
+func TestArrayWithVariationStillComputes(t *testing.T) {
+	cfg := ModernSTT()
+	for g := GateKind(0); g.Valid(); g++ {
+		tol := VariationTolerance(g, cfg)
+		v, err := Bias(g, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// All-high and all-low corners at 90% of tolerance.
+		for _, f := range []float64{1 + 0.9*tol, 1 - 0.9*tol} {
+			varied := *cfg
+			varied.P.RP *= f
+			varied.P.RAP *= f
+			spec := Spec(g)
+			for combo := 0; combo < 1<<spec.Inputs; combo++ {
+				inputs := make([]State, spec.Inputs)
+				for i := range inputs {
+					inputs[i] = FromBit((combo >> i) & 1)
+				}
+				i := DriveCurrent(g, &varied, v, inputs)
+				out := NewDevice(spec.Preset)
+				out.ApplyPulse(&varied.P, spec.Dir, i, varied.P.SwitchTime)
+				if out.State() != Evaluate(g, inputs) {
+					t.Errorf("%s at variation %+.0f%%: inputs %v wrong", g, (f-1)*100, inputs)
+				}
+			}
+		}
+	}
+}

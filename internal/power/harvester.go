@@ -1,0 +1,116 @@
+package power
+
+import "fmt"
+
+// Harvester combines a power source, the capacitor buffer, and the
+// voltage-window policy into the stepping model the intermittent
+// simulator drives. Time is explicit: the harvester tracks the global
+// simulation clock so trace and solar sources see wall-clock time.
+type Harvester struct {
+	Src Source
+	Cap *Capacitor
+
+	// VOff is the shutdown voltage: once the buffer drops here, the
+	// machine powers down. VOn is the restart voltage the buffer must
+	// recharge to before the machine boots again.
+	VOff, VOn float64
+
+	// VMax caps the buffer voltage (the regulator sheds surplus harvest
+	// once the buffer is full). Defaults to VOn if zero.
+	VMax float64
+
+	now float64
+}
+
+// NewHarvester builds a harvester with the buffer initially empty — the
+// paper assumes every run starts below the shutdown voltage, so all
+// benchmarks begin with an initial charging period.
+func NewHarvester(src Source, capacitance, vOff, vOn float64) *Harvester {
+	return &Harvester{
+		Src:  src,
+		Cap:  NewCapacitor(capacitance, 0),
+		VOff: vOff,
+		VOn:  vOn,
+		VMax: vOn,
+	}
+}
+
+// Now returns the simulation clock in seconds.
+func (h *Harvester) Now() float64 { return h.now }
+
+// On reports whether the buffer is above the shutdown voltage.
+func (h *Harvester) On() bool { return h.Cap.Voltage() > h.VOff }
+
+// chargeStep is the integration step used while charging from a
+// non-constant source, as a fraction of the remaining estimate.
+const chargeQuantum = 1e-3 // seconds
+
+// ChargeUntilOn advances time until the buffer reaches VOn, returning the
+// elapsed charging time. Constant sources use the closed form
+// t = C·(Von²−V²)/(2P); other sources are integrated in small steps. It
+// returns an error if the source cannot reach VOn within maxWait seconds
+// (non-termination guard).
+func (h *Harvester) ChargeUntilOn(maxWait float64) (float64, error) {
+	start := h.now
+	target := 0.5 * h.Cap.C * h.VOn * h.VOn
+	if c, isConst := h.Src.(Constant); isConst {
+		if c.W <= 0 {
+			return 0, fmt.Errorf("power: source %s cannot charge the buffer", h.Src.Name())
+		}
+		need := target - h.Cap.Energy()
+		if need > 0 {
+			dt := need / c.W
+			if dt > maxWait {
+				return 0, fmt.Errorf("power: charging would take %.3g s, beyond the %.3g s limit", dt, maxWait)
+			}
+			h.now += dt
+			h.Cap.SetVoltage(h.VOn)
+		}
+		return h.now - start, nil
+	}
+	for h.Cap.Energy() < target {
+		if h.now-start > maxWait {
+			return 0, fmt.Errorf("power: source %s did not recharge the buffer within %.3g s", h.Src.Name(), maxWait)
+		}
+		p := h.Src.Power(h.now)
+		h.Cap.AddEnergy(p * chargeQuantum)
+		h.now += chargeQuantum
+	}
+	if h.Cap.Voltage() > h.VMax {
+		h.Cap.SetVoltage(h.VMax)
+	}
+	return h.now - start, nil
+}
+
+// Draw advances the clock by dt seconds while the machine consumes e
+// joules, with the source harvesting concurrently. It returns the
+// fraction of the operation that completed before the buffer hit VOff:
+// 1.0 for a completed operation, less for one cut short by an outage (in
+// which case the clock advances only by the completed fraction and the
+// buffer sits exactly at VOff).
+func (h *Harvester) Draw(dt, e float64) float64 {
+	harvest := h.Src.Power(h.now) * dt
+	budget := h.Cap.EnergyAbove(h.VOff) + harvest
+	if e <= budget || e <= 0 {
+		h.Cap.AddEnergy(harvest - e)
+		if h.Cap.Voltage() > h.VMax {
+			h.Cap.SetVoltage(h.VMax)
+		}
+		h.now += dt
+		return 1.0
+	}
+	frac := budget / e
+	h.now += dt * frac
+	h.Cap.SetVoltage(h.VOff)
+	return frac
+}
+
+// Idle advances the clock by dt with no machine draw (e.g. the
+// level-switch portion of a cycle), still harvesting.
+func (h *Harvester) Idle(dt float64) {
+	h.Cap.AddEnergy(h.Src.Power(h.now) * dt)
+	if h.Cap.Voltage() > h.VMax {
+		h.Cap.SetVoltage(h.VMax)
+	}
+	h.now += dt
+}

@@ -1,0 +1,234 @@
+// Package power models the energy-harvesting supply chain of Section
+// IV-C and VIII of the paper: a harvesting power source charging a
+// capacitor energy buffer, a switched-capacitor voltage converter, and
+// the voltage-window shutdown/restart policy (run while the buffer is
+// above V_off; once it drops there, shut down and wait until it recharges
+// to V_on).
+package power
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Source provides harvested power as a function of time.
+type Source interface {
+	// Power returns the harvested power in watts at time t (seconds).
+	Power(t float64) float64
+	// Name identifies the source in reports.
+	Name() string
+}
+
+// Constant is a fixed-power source, the paper's evaluation model ("we
+// model our energy harvester as a constant power source").
+type Constant struct {
+	// W is the harvested power in watts.
+	W float64
+}
+
+// Power returns the constant wattage.
+func (c Constant) Power(float64) float64 { return c.W }
+
+// Name describes the source.
+func (c Constant) Name() string { return fmt.Sprintf("constant %.3g W", c.W) }
+
+// Trace is a piecewise-constant power trace: Watts[i] applies from
+// Times[i] (seconds) until Times[i+1]; before Times[0] the power is 0 and
+// after the last point the final value holds.
+type Trace struct {
+	Times []float64
+	Watts []float64
+}
+
+// Power returns the traced wattage at time t.
+func (tr Trace) Power(t float64) float64 {
+	if len(tr.Times) == 0 {
+		return 0
+	}
+	last := 0.0
+	for i, ts := range tr.Times {
+		if t < ts {
+			return last
+		}
+		last = tr.Watts[i]
+	}
+	return last
+}
+
+// Name describes the source.
+func (tr Trace) Name() string { return fmt.Sprintf("trace (%d points)", len(tr.Times)) }
+
+// Solar is a half-sine "daylight" source: power follows
+// Peak*max(0, sin(2πt/Period)) — daylight for the first half of each
+// period, darkness for the second. It gives examples a realistic
+// fluctuating supply.
+type Solar struct {
+	Peak   float64 // watts at noon
+	Period float64 // seconds per full day/night cycle
+}
+
+// Power returns the instantaneous solar harvest at time t.
+func (s Solar) Power(t float64) float64 {
+	if s.Period <= 0 {
+		return 0
+	}
+	p := s.Peak * math.Sin(2*math.Pi*t/s.Period)
+	if p < 0 {
+		return 0
+	}
+	return p
+}
+
+// Name describes the source.
+func (s Solar) Name() string { return fmt.Sprintf("solar peak %.3g W", s.Peak) }
+
+// RFBursts models an RF energy harvester (the paper's SONIC baseline
+// runs from a Powercast transmitter): power arrives in bursts as the
+// channel fades in and out, following a two-state Markov process with
+// exponentially distributed dwell times. The process is deterministic
+// per seed, and lazily extended as far as the simulation asks.
+type RFBursts struct {
+	// Peak is the harvested power during a burst, in watts.
+	Peak float64
+	// MeanOn and MeanOff are the mean burst and fade durations, seconds.
+	MeanOn, MeanOff float64
+	// Seed fixes the dwell-time sequence.
+	Seed int64
+
+	edges []float64 // alternating on→off, off→on transition times; starts on
+	rng   *rand.Rand
+}
+
+// NewRFBursts creates a bursty source with the given duty parameters.
+func NewRFBursts(peak, meanOn, meanOff float64, seed int64) *RFBursts {
+	return &RFBursts{Peak: peak, MeanOn: meanOn, MeanOff: meanOff, Seed: seed}
+}
+
+// Power returns the harvested power at time t.
+func (r *RFBursts) Power(t float64) float64 {
+	if r.Peak <= 0 || r.MeanOn <= 0 || r.MeanOff <= 0 {
+		return 0
+	}
+	if r.rng == nil {
+		r.rng = rand.New(rand.NewSource(r.Seed))
+		r.edges = []float64{0}
+	}
+	for len(r.edges) == 0 || r.edges[len(r.edges)-1] <= t {
+		mean := r.MeanOn
+		if len(r.edges)%2 == 0 {
+			mean = r.MeanOff
+		}
+		r.edges = append(r.edges, r.edges[len(r.edges)-1]+r.rng.ExpFloat64()*mean)
+	}
+	// Find the phase containing t: edges[i] ≤ t < edges[i+1]; even i = on.
+	i := sort.SearchFloat64s(r.edges, t)
+	if i < len(r.edges) && r.edges[i] == t {
+		i++
+	}
+	if (i-1)%2 == 0 {
+		return r.Peak
+	}
+	return 0
+}
+
+// Name describes the source.
+func (r *RFBursts) Name() string {
+	return fmt.Sprintf("RF bursts %.3g W (on %.3g s / off %.3g s)", r.Peak, r.MeanOn, r.MeanOff)
+}
+
+// Capacitor is the on-chip energy buffer.
+type Capacitor struct {
+	// C is the capacitance in farads.
+	C float64
+	v float64
+}
+
+// NewCapacitor returns a capacitor of c farads charged to v0 volts.
+func NewCapacitor(c, v0 float64) *Capacitor {
+	return &Capacitor{C: c, v: v0}
+}
+
+// Voltage returns the present voltage.
+func (c *Capacitor) Voltage() float64 { return c.v }
+
+// SetVoltage forces the voltage (used for initial conditions).
+func (c *Capacitor) SetVoltage(v float64) { c.v = v }
+
+// Energy returns the stored energy ½CV² in joules.
+func (c *Capacitor) Energy() float64 { return 0.5 * c.C * c.v * c.v }
+
+// EnergyAbove returns the energy stored above the given floor voltage —
+// the budget usable before the system must shut down.
+func (c *Capacitor) EnergyAbove(vFloor float64) float64 {
+	if c.v <= vFloor {
+		return 0
+	}
+	return 0.5 * c.C * (c.v*c.v - vFloor*vFloor)
+}
+
+// AddEnergy deposits (or, if negative, withdraws) e joules, clamping at
+// zero charge.
+func (c *Capacitor) AddEnergy(e float64) {
+	stored := c.Energy() + e
+	if stored < 0 {
+		stored = 0
+	}
+	c.v = math.Sqrt(2 * stored / c.C)
+}
+
+// Converter is the switched-capacitor DC-DC converter that derives each
+// operation's bias voltage from the buffer voltage using a small set of
+// conversion ratios (Section VIII: 0.75, 1, 1.5 and 1.75).
+type Converter struct {
+	// Ratios are the available conversion ratios, ascending.
+	Ratios []float64
+	// Efficiency is the conversion efficiency in (0, 1]. The paper
+	// evaluates on the power *supplied by* the converter (efficiency
+	// excluded from MOUSE's accounting), so the default is 1.0; the
+	// 35–80% converter loss scales the harvester requirement instead.
+	Efficiency float64
+}
+
+// DefaultConverter returns the converter of Section VIII.
+func DefaultConverter() Converter {
+	return Converter{Ratios: []float64{0.75, 1, 1.5, 1.75}, Efficiency: 1.0}
+}
+
+// RatioFor returns the smallest ratio that can produce vOut from vIn,
+// and whether one exists.
+func (cv Converter) RatioFor(vIn, vOut float64) (float64, bool) {
+	if vIn <= 0 {
+		return 0, false
+	}
+	need := vOut / vIn
+	for _, r := range cv.Ratios {
+		if r >= need {
+			return r, true
+		}
+	}
+	return 0, false
+}
+
+// LevelIndex buckets a required output voltage into a converter level for
+// the given input window; consecutive operations on different levels pay
+// the level-switch latency share (Section IV-C). The index is the
+// position of the chosen ratio, or -1 if unreachable.
+func (cv Converter) LevelIndex(vIn, vOut float64) int {
+	if vIn <= 0 {
+		return -1
+	}
+	need := vOut / vIn
+	for i, r := range cv.Ratios {
+		if r >= need {
+			return i
+		}
+	}
+	return -1
+}
+
+// SourceOverheadRange returns the multiplier range on harvested energy a
+// real 35–80%-efficient converter would impose (Section VIII reports
+// 1.25–2.85×).
+func SourceOverheadRange() (lo, hi float64) { return 1 / 0.80, 1 / 0.35 }

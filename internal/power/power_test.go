@@ -1,0 +1,309 @@
+package power
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	return math.Abs(a-b) <= tol*math.Max(math.Abs(a), math.Abs(b))
+}
+
+func TestConstantSource(t *testing.T) {
+	s := Constant{W: 60e-6}
+	if s.Power(0) != 60e-6 || s.Power(1e9) != 60e-6 {
+		t.Errorf("constant source varies")
+	}
+	if s.Name() == "" {
+		t.Errorf("empty name")
+	}
+}
+
+func TestTraceSource(t *testing.T) {
+	tr := Trace{Times: []float64{1, 2, 3}, Watts: []float64{10, 0, 5}}
+	cases := []struct{ t, want float64 }{
+		{0, 0}, {0.5, 0}, {1, 10}, {1.5, 10}, {2, 0}, {2.9, 0}, {3, 5}, {100, 5},
+	}
+	for _, c := range cases {
+		if got := tr.Power(c.t); got != c.want {
+			t.Errorf("trace.Power(%g) = %g, want %g", c.t, got, c.want)
+		}
+	}
+	var empty Trace
+	if empty.Power(5) != 0 {
+		t.Errorf("empty trace should give 0")
+	}
+}
+
+func TestSolarSource(t *testing.T) {
+	s := Solar{Peak: 1e-3, Period: 100}
+	if got := s.Power(25); !almost(got, 1e-3, 1e-9) {
+		t.Errorf("noon power = %g, want peak", got)
+	}
+	if s.Power(75) != 0 {
+		t.Errorf("night power = %g, want 0", s.Power(75))
+	}
+	if s.Power(0) < 0 || s.Power(99) < 0 {
+		t.Errorf("negative power")
+	}
+	if (Solar{Peak: 1, Period: 0}).Power(1) != 0 {
+		t.Errorf("zero-period solar should give 0")
+	}
+}
+
+func TestCapacitorEnergy(t *testing.T) {
+	c := NewCapacitor(100e-6, 0.340)
+	want := 0.5 * 100e-6 * 0.340 * 0.340
+	if !almost(c.Energy(), want, 1e-12) {
+		t.Errorf("Energy = %g, want %g", c.Energy(), want)
+	}
+	above := c.EnergyAbove(0.320)
+	wantAbove := 0.5 * 100e-6 * (0.340*0.340 - 0.320*0.320)
+	if !almost(above, wantAbove, 1e-12) {
+		t.Errorf("EnergyAbove = %g, want %g", above, wantAbove)
+	}
+	if c.EnergyAbove(0.5) != 0 {
+		t.Errorf("EnergyAbove a higher floor should be 0")
+	}
+}
+
+func TestCapacitorAddEnergyRoundTrip(t *testing.T) {
+	prop := func(v0Milli, addMicro uint16) bool {
+		v0 := float64(v0Milli) / 1000
+		e := float64(addMicro) * 1e-6
+		c := NewCapacitor(10e-6, v0)
+		before := c.Energy()
+		c.AddEnergy(e)
+		if !almost(c.Energy(), before+e, 1e-9) {
+			return false
+		}
+		c.AddEnergy(-e)
+		return almost(c.Energy(), before, 1e-9)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCapacitorClampsAtZero(t *testing.T) {
+	c := NewCapacitor(10e-6, 0.1)
+	c.AddEnergy(-1) // far more than stored
+	if c.Energy() != 0 || c.Voltage() != 0 {
+		t.Errorf("over-drain left energy %g", c.Energy())
+	}
+}
+
+func TestConverterRatio(t *testing.T) {
+	cv := DefaultConverter()
+	r, ok := cv.RatioFor(0.330, 0.243)
+	if !ok || r != 0.75 {
+		t.Errorf("RatioFor(0.33, 0.243) = %g, %v", r, ok)
+	}
+	r, ok = cv.RatioFor(0.330, 0.400)
+	if !ok || r != 1.5 {
+		t.Errorf("RatioFor(0.33, 0.4) = %g, %v", r, ok)
+	}
+	if _, ok := cv.RatioFor(0.330, 1.0); ok {
+		t.Errorf("unreachable output voltage accepted")
+	}
+	if _, ok := cv.RatioFor(0, 0.1); ok {
+		t.Errorf("zero input voltage accepted")
+	}
+	if i := cv.LevelIndex(0.330, 0.243); i != 0 {
+		t.Errorf("LevelIndex = %d, want 0", i)
+	}
+	if i := cv.LevelIndex(0.330, 9); i != -1 {
+		t.Errorf("unreachable LevelIndex = %d, want -1", i)
+	}
+	if i := cv.LevelIndex(0, 0.1); i != -1 {
+		t.Errorf("zero-vin LevelIndex = %d", i)
+	}
+}
+
+func TestSourceOverheadRange(t *testing.T) {
+	lo, hi := SourceOverheadRange()
+	if !almost(lo, 1.25, 0.01) || !almost(hi, 2.857, 0.01) {
+		t.Errorf("overhead range [%g, %g], want about [1.25, 2.86]", lo, hi)
+	}
+}
+
+func TestChargeUntilOnClosedForm(t *testing.T) {
+	// 100 µF from empty to 340 mV at 60 µW: t = C·V²/2P.
+	h := NewHarvester(Constant{W: 60e-6}, 100e-6, 0.320, 0.340)
+	dt, err := h.ChargeUntilOn(1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.5 * 100e-6 * 0.340 * 0.340 / 60e-6
+	if !almost(dt, want, 1e-9) {
+		t.Errorf("charge time %g, want %g", dt, want)
+	}
+	if !h.On() {
+		t.Errorf("harvester not on after charging")
+	}
+	// Already charged: no additional time.
+	dt, err = h.ChargeUntilOn(1e6)
+	if err != nil || dt != 0 {
+		t.Errorf("second charge dt=%g err=%v", dt, err)
+	}
+}
+
+func TestChargeUntilOnTimeout(t *testing.T) {
+	h := NewHarvester(Constant{W: 1e-9}, 100e-6, 0.320, 0.340)
+	if _, err := h.ChargeUntilOn(1.0); err == nil {
+		t.Errorf("absurdly slow charge did not error")
+	}
+	h = NewHarvester(Constant{W: 0}, 100e-6, 0.320, 0.340)
+	if _, err := h.ChargeUntilOn(1.0); err == nil {
+		t.Errorf("zero-power source did not error")
+	}
+}
+
+func TestChargeUntilOnIntegratesTraces(t *testing.T) {
+	// 1 mW after t=1s, nothing before.
+	tr := Trace{Times: []float64{0, 1}, Watts: []float64{0, 1e-3}}
+	h := NewHarvester(tr, 10e-6, 0.100, 0.120)
+	dt, err := h.ChargeUntilOn(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Needs 72 nJ: arrives almost instantly once power appears at t=1.
+	if dt < 1.0 || dt > 1.1 {
+		t.Errorf("trace charge time %g, want just over 1 s", dt)
+	}
+}
+
+func TestDrawCompletesWithinBudget(t *testing.T) {
+	h := NewHarvester(Constant{W: 0}, 100e-6, 0.320, 0.340)
+	h.Cap.SetVoltage(0.340)
+	before := h.Cap.Energy()
+	frac := h.Draw(33e-9, 1e-9)
+	if frac != 1.0 {
+		t.Fatalf("draw within budget returned %g", frac)
+	}
+	if !almost(h.Cap.Energy(), before-1e-9, 1e-9) {
+		t.Errorf("energy not conserved: %g vs %g", h.Cap.Energy(), before-1e-9)
+	}
+	if h.Now() != 33e-9 {
+		t.Errorf("clock = %g", h.Now())
+	}
+}
+
+func TestDrawCutShortAtVOff(t *testing.T) {
+	h := NewHarvester(Constant{W: 0}, 100e-6, 0.320, 0.340)
+	h.Cap.SetVoltage(0.340)
+	budget := h.Cap.EnergyAbove(0.320)
+	frac := h.Draw(33e-9, budget*2)
+	if !almost(frac, 0.5, 1e-9) {
+		t.Fatalf("frac = %g, want 0.5", frac)
+	}
+	if !almost(h.Cap.Voltage(), 0.320, 1e-12) {
+		t.Errorf("voltage after outage = %g, want VOff", h.Cap.Voltage())
+	}
+	if h.On() {
+		t.Errorf("harvester still on at VOff")
+	}
+}
+
+func TestDrawClampsAtVMax(t *testing.T) {
+	// A huge source cannot push the buffer past VMax.
+	h := NewHarvester(Constant{W: 1}, 100e-6, 0.320, 0.340)
+	h.Cap.SetVoltage(0.340)
+	h.Draw(1e-3, 0)
+	if h.Cap.Voltage() > 0.340+1e-12 {
+		t.Errorf("voltage exceeded VMax: %g", h.Cap.Voltage())
+	}
+	h.Idle(1e-3)
+	if h.Cap.Voltage() > 0.340+1e-12 {
+		t.Errorf("Idle exceeded VMax: %g", h.Cap.Voltage())
+	}
+}
+
+func TestIdleAdvancesClock(t *testing.T) {
+	h := NewHarvester(Constant{W: 60e-6}, 100e-6, 0.320, 0.340)
+	h.Idle(0.5)
+	if h.Now() != 0.5 {
+		t.Errorf("clock = %g", h.Now())
+	}
+	// 30 µJ arrives but the buffer clamps at VMax: ½·C·VMax².
+	if want := 0.5 * 100e-6 * 0.340 * 0.340; !almost(h.Cap.Energy(), want, 1e-9) {
+		t.Errorf("idle harvest = %g J, want %g (clamped at VMax)", h.Cap.Energy(), want)
+	}
+}
+
+// TestEnergyConservationProperty: over a random mix of draws and idles
+// with a constant source, stored + consumed = harvested (while below the
+// VMax clamp).
+func TestEnergyConservationProperty(t *testing.T) {
+	prop := func(ops [8]uint8) bool {
+		h := NewHarvester(Constant{W: 1e-3}, 1e-3, 0.1, 10.0) // huge VMax: no clamping
+		h.Cap.SetVoltage(1.0)
+		initial := h.Cap.Energy()
+		consumed := 0.0
+		for _, op := range ops {
+			dt := float64(op%16+1) * 1e-6
+			e := float64(op/16) * 1e-9
+			frac := h.Draw(dt, e)
+			consumed += e * frac
+			if frac < 1 {
+				return true // outage path exercised elsewhere
+			}
+		}
+		harvested := 1e-3 * h.Now()
+		return almost(h.Cap.Energy(), initial+harvested-consumed, 1e-9)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRFBursts(t *testing.T) {
+	r := NewRFBursts(5e-3, 0.2, 0.5, 7)
+	// Deterministic per seed.
+	r2 := NewRFBursts(5e-3, 0.2, 0.5, 7)
+	onTime, samples := 0, 0
+	for ts := 0.0; ts < 50; ts += 0.01 {
+		p := r.Power(ts)
+		if p != r2.Power(ts) {
+			t.Fatalf("non-deterministic at t=%g", ts)
+		}
+		if p != 0 && p != 5e-3 {
+			t.Fatalf("power %g not 0 or peak", p)
+		}
+		if p > 0 {
+			onTime++
+		}
+		samples++
+	}
+	duty := float64(onTime) / float64(samples)
+	want := 0.2 / (0.2 + 0.5)
+	if duty < want*0.7 || duty > want*1.3 {
+		t.Errorf("duty cycle %.3f, want about %.3f", duty, want)
+	}
+	if (&RFBursts{}).Power(1) != 0 {
+		t.Errorf("zero-parameter bursts should give 0")
+	}
+	if NewRFBursts(1e-3, 1, 1, 1).Name() == "" {
+		t.Errorf("empty name")
+	}
+}
+
+func TestRFBurstsDriveHarvester(t *testing.T) {
+	// An intermittent supply still charges the buffer eventually.
+	src := NewRFBursts(2e-3, 0.05, 0.15, 3)
+	h := NewHarvester(src, 100e-6, 0.320, 0.340)
+	dt, err := h.ChargeUntilOn(120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dt <= 0 {
+		t.Fatalf("instant charge from a bursty source")
+	}
+	if !h.On() {
+		t.Fatalf("not on after charging")
+	}
+}

@@ -1,0 +1,109 @@
+package sim
+
+import (
+	"fmt"
+
+	"mouse/internal/energy"
+	"mouse/internal/isa"
+	"mouse/internal/mtj"
+)
+
+// TerminationReport is the result of a static forward-progress check
+// (the intermittent-computing non-termination hazard of Section I:
+// "if the energy required between two checkpoints is too large, the
+// device will be unable to complete the computation").
+type TerminationReport struct {
+	// OK reports whether every instruction fits the discharge window.
+	OK bool
+	// WindowJ is the usable energy of one buffer discharge (V_on→V_off).
+	WindowJ float64
+	// MaxOpJ is the most expensive single instruction (compute + backup).
+	MaxOpJ float64
+	// MaxOpIndex is that instruction's position in the stream.
+	MaxOpIndex int64
+	// MaxOp is the offending (or just most expensive) operation.
+	MaxOp energy.Op
+	// Headroom is WindowJ / MaxOpJ; values near 1 are fragile.
+	Headroom float64
+	// Ops is the total operation count inspected.
+	Ops int64
+}
+
+// CheckTermination statically verifies, before deployment, that the
+// program can always make forward progress on cfg's energy buffer: the
+// most expensive single instruction — the unit of atomic progress, since
+// MOUSE checkpoints after every instruction — must fit within one full
+// buffer discharge. This is MOUSE's analogue of CleanCut's
+// non-termination checking (Section X), made trivial by the
+// one-instruction checkpoint interval.
+func CheckTermination(s OpStream, m *energy.Model) TerminationReport {
+	cfg := m.Cfg
+	rep := TerminationReport{
+		WindowJ: 0.5 * cfg.CapC * (cfg.CapVMax*cfg.CapVMax - cfg.CapVMin*cfg.CapVMin),
+	}
+	var idx int64
+	for {
+		op, ok := s.Next()
+		if !ok {
+			break
+		}
+		e := m.Energy(op) + m.Backup(op)
+		if e > rep.MaxOpJ {
+			rep.MaxOpJ = e
+			rep.MaxOpIndex = idx
+			rep.MaxOp = op
+		}
+		idx++
+	}
+	rep.Ops = idx
+	rep.OK = rep.MaxOpJ <= rep.WindowJ
+	if rep.MaxOpJ > 0 {
+		rep.Headroom = rep.WindowJ / rep.MaxOpJ
+	}
+	return rep
+}
+
+func (r TerminationReport) String() string {
+	verdict := "terminates"
+	if !r.OK {
+		verdict = "NON-TERMINATING"
+	}
+	return fmt.Sprintf("%s: window %.4g J, costliest op %.4g J at index %d (%v, %d pairs), headroom %.2fx over %d ops",
+		verdict, r.WindowJ, r.MaxOpJ, r.MaxOpIndex, r.MaxOp.Kind, r.MaxOp.ActivePairs, r.Headroom, r.Ops)
+}
+
+// MaxParallelColumns returns the largest number of simultaneously active
+// columns for which a logic instruction (using the costliest gate) still
+// fits within one buffer discharge with the given headroom factor — the
+// Section IV-C knob: "by adjusting the amount of parallelism in the
+// computation, the power consumption of MOUSE can be finely tuned".
+func MaxParallelColumns(m *energy.Model, headroom float64) int {
+	cfg := m.Cfg
+	window := 0.5 * cfg.CapC * (cfg.CapVMax*cfg.CapVMax - cfg.CapVMin*cfg.CapVMin)
+	budget := window / headroom
+
+	// Find the most expensive per-column operation (preset writes cost
+	// more than gates on STT cells).
+	perCol := 0.0
+	for g := mtj.GateKind(0); g.Valid(); g++ {
+		probe := m.Energy(energy.Op{Kind: isa.KindLogic, Gate: g, ActivePairs: 1}) -
+			m.Energy(energy.Op{Kind: isa.KindLogic, Gate: g, ActivePairs: 0})
+		if probe > perCol {
+			perCol = probe
+		}
+	}
+	presetCol := m.Energy(energy.Op{Kind: isa.KindPreset, ActivePairs: 1}) -
+		m.Energy(energy.Op{Kind: isa.KindPreset, ActivePairs: 0})
+	if presetCol > perCol {
+		perCol = presetCol
+	}
+	if perCol <= 0 {
+		return 0
+	}
+	fixed := m.Energy(energy.Op{Kind: isa.KindLogic, Gate: mtj.NAND2, ActivePairs: 0}) +
+		m.Backup(energy.Op{Kind: isa.KindLogic})
+	if budget <= fixed {
+		return 0
+	}
+	return int((budget - fixed) / perCol)
+}

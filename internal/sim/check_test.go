@@ -1,0 +1,154 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"mouse/internal/energy"
+	"mouse/internal/isa"
+	"mouse/internal/mtj"
+)
+
+func TestCheckTerminationPasses(t *testing.T) {
+	m := energy.NewModel(mtj.ModernSTT())
+	rep := CheckTermination(&SliceStream{Ops: opsFixture(100)}, m)
+	if !rep.OK {
+		t.Fatalf("modest workload flagged: %v", rep)
+	}
+	if rep.Ops != 100 || rep.Headroom <= 1 {
+		t.Errorf("report wrong: %+v", rep)
+	}
+	if !strings.Contains(rep.String(), "terminates") {
+		t.Errorf("String = %q", rep.String())
+	}
+}
+
+func TestCheckTerminationFlagsMonsterOp(t *testing.T) {
+	m := energy.NewModel(mtj.ModernSTT())
+	ops := opsFixture(10)
+	ops[7] = energy.Op{Kind: isa.KindLogic, Gate: mtj.NAND2, ActivePairs: 1 << 30}
+	rep := CheckTermination(&SliceStream{Ops: ops}, m)
+	if rep.OK {
+		t.Fatalf("monster op passed: %v", rep)
+	}
+	if rep.MaxOpIndex != 7 {
+		t.Errorf("wrong culprit index %d", rep.MaxOpIndex)
+	}
+	if !strings.Contains(rep.String(), "NON-TERMINATING") {
+		t.Errorf("String = %q", rep.String())
+	}
+	// The dynamic engine must agree with the static verdict.
+	r := NewRunner(m)
+	cfg := mtj.ModernSTT()
+	_, err := r.Run(&SliceStream{Ops: ops}, harvester(cfg, 60e-6))
+	if err == nil {
+		t.Fatalf("dynamic run of a non-terminating stream succeeded")
+	}
+}
+
+func TestCheckTerminationAgreesWithRunner(t *testing.T) {
+	// Property: any workload the checker passes with headroom completes
+	// under the dynamic engine.
+	for _, cfg := range mtj.Configs() {
+		m := energy.NewModel(cfg)
+		cols := MaxParallelColumns(m, 2.0)
+		ops := []energy.Op{{Kind: isa.KindAct, ActCols: cols}}
+		for i := 0; i < 50; i++ {
+			ops = append(ops,
+				energy.Op{Kind: isa.KindPreset, ActivePairs: cols},
+				energy.Op{Kind: isa.KindLogic, Gate: mtj.NAND2, ActivePairs: cols})
+		}
+		rep := CheckTermination(&SliceStream{Ops: ops}, m)
+		if !rep.OK {
+			t.Fatalf("%s: sized workload flagged: %v", cfg.Name, rep)
+		}
+		r := NewRunner(m)
+		if _, err := r.Run(&SliceStream{Ops: ops}, harvester(cfg, 60e-6)); err != nil {
+			t.Fatalf("%s: sized workload failed dynamically: %v", cfg.Name, err)
+		}
+	}
+}
+
+func TestMaxParallelColumns(t *testing.T) {
+	for _, cfg := range mtj.Configs() {
+		m := energy.NewModel(cfg)
+		n := MaxParallelColumns(m, 1.0)
+		if n <= 0 {
+			t.Fatalf("%s: no parallelism possible", cfg.Name)
+		}
+		half := MaxParallelColumns(m, 2.0)
+		if half >= n {
+			t.Errorf("%s: headroom did not shrink the budget (%d vs %d)", cfg.Name, half, n)
+		}
+	}
+	// Projected technologies afford far more parallelism than modern.
+	modern := MaxParallelColumns(energy.NewModel(mtj.ModernSTT()), 1.0)
+	projected := MaxParallelColumns(energy.NewModel(mtj.ProjectedSTT()), 1.0)
+	if projected <= modern {
+		t.Errorf("projected budget %d not above modern %d", projected, modern)
+	}
+}
+
+func TestCheckpointIntervalTradeoff(t *testing.T) {
+	// Section IV-D: rarer checkpoints mean less backup energy but more
+	// dead (re-performed) work.
+	cfg := mtj.ModernSTT()
+	m := energy.NewModel(cfg)
+	r := NewRunner(m)
+	mk := func() *SliceStream {
+		ops := make([]energy.Op, 3000)
+		for i := range ops {
+			ops[i] = energy.Op{Kind: isa.KindLogic, Gate: mtj.NAND2, ActivePairs: 8192}
+		}
+		ops[0] = energy.Op{Kind: isa.KindAct, ActCols: 8192}
+		return &SliceStream{Ops: ops}
+	}
+	var prevBackup, prevDead float64
+	for i, interval := range []int{1, 8, 64} {
+		res, err := r.RunWithCheckpointInterval(mk(), harvester(cfg, 60e-6), interval)
+		if err != nil {
+			t.Fatalf("interval %d: %v", interval, err)
+		}
+		if !res.Completed || res.Instructions != 3000 {
+			t.Fatalf("interval %d incomplete: %+v", interval, res.Breakdown)
+		}
+		if i > 0 {
+			if res.BackupEnergy >= prevBackup {
+				t.Errorf("interval %d: backup energy %.3g did not drop (was %.3g)", interval, res.BackupEnergy, prevBackup)
+			}
+			if res.DeadEnergy <= prevDead {
+				t.Errorf("interval %d: dead energy %.3g did not grow (was %.3g)", interval, res.DeadEnergy, prevDead)
+			}
+		}
+		prevBackup, prevDead = res.BackupEnergy, res.DeadEnergy
+	}
+}
+
+func TestCheckpointIntervalOneMatchesRun(t *testing.T) {
+	cfg := mtj.ProjectedSTT()
+	m := energy.NewModel(cfg)
+	r := NewRunner(m)
+	a, err := r.Run(&SliceStream{Ops: opsFixture(500)}, harvester(cfg, 60e-6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.RunWithCheckpointInterval(&SliceStream{Ops: opsFixture(500)}, harvester(cfg, 60e-6), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Instructions != b.Instructions {
+		t.Errorf("instruction counts differ: %d vs %d", a.Instructions, b.Instructions)
+	}
+	// Compute energy must agree exactly; backup may differ slightly
+	// because interval mode prices every checkpoint as a plain-PC commit.
+	if diff := a.ComputeEnergy - b.ComputeEnergy; diff > 1e-15 || diff < -1e-15 {
+		t.Errorf("compute energy differs: %g vs %g", a.ComputeEnergy, b.ComputeEnergy)
+	}
+}
+
+func TestCheckpointIntervalValidates(t *testing.T) {
+	r := NewRunner(energy.NewModel(mtj.ModernSTT()))
+	if _, err := r.RunWithCheckpointInterval(&SliceStream{}, nil, 0); err == nil {
+		t.Fatalf("interval 0 accepted")
+	}
+}

@@ -1,0 +1,160 @@
+package sim
+
+import (
+	"testing"
+
+	"mouse/internal/array"
+	"mouse/internal/compile"
+	"mouse/internal/controller"
+	"mouse/internal/energy"
+	"mouse/internal/isa"
+	"mouse/internal/mtj"
+	"mouse/internal/power"
+)
+
+// TestFullFidelityStack is the maximal-fidelity integration test: the
+// program lives in real MTJ instruction tiles (TileStore), the input
+// arrives through a sensor buffer tile, execution runs under an
+// energy-starved harvester with outages injected at energy-determined
+// µ-phases, and the result must match a continuous-power run fetched
+// from a plain program store.
+func TestFullFidelityStack(t *testing.T) {
+	cfg := mtj.ModernSTT()
+
+	// Program: transfer two sensor rows into the data tile, then
+	// compute their columnwise XOR (3 gates) and a popcount-free
+	// summary gate.
+	b := compile.NewBuilder(32)
+	b.ActivateBroadcast([]uint16{0, 1, 2, 3, 4, 5, 6, 7})
+	x := b.Reserve(0)
+	y := b.Reserve(2)
+	xor := b.XOR(x, y)
+	nand := b.NAND(x, y)
+	tail, err := b.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Prefix: sensor transfer (sensor is tile 1 of a 1-data-tile machine).
+	prog := append(isa.Program{
+		isa.Read(1, 0), isa.Write(0, 0),
+		isa.Read(1, 1), isa.Write(0, 2),
+	}, tail...)
+
+	sample := []int{1, 0, 1, 1, 0, 0, 1, 0, // row 0
+		0, 1, 1, 0, 1, 0, 1, 0} // row 1
+
+	runOnce := func(useTiles bool, h *power.Harvester) (*array.Machine, Result) {
+		m := array.NewMachine(cfg, 1, 32, 8)
+		sensor := array.NewSensorBuffer(cfg, 2, 8)
+		if got := m.AttachSensor(sensor); got != 1 {
+			t.Fatalf("sensor tile at %d", got)
+		}
+		if err := sensor.Provide(sample); err != nil {
+			t.Fatal(err)
+		}
+		var store controller.Store = controller.ProgramStore(prog)
+		if useTiles {
+			ts, err := controller.NewTileStore(cfg, prog, 64, 64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			store = ts
+		}
+		c := controller.New(store, m)
+		c.SetSensor(sensor)
+		c.SensorWindow.Start, c.SensorWindow.End, c.SensorWindow.Enabled = 0, 4, true
+		res, err := NewMachineRunner(c).Run(h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m, res
+	}
+
+	ref, _ := runOnce(false, nil)
+	starved := power.NewHarvester(power.Constant{W: 1.5e-6}, 2.5e-9, cfg.CapVMin, cfg.CapVMax)
+	got, res := runOnce(true, starved)
+	if res.Restarts == 0 {
+		t.Fatalf("starved run saw no outages")
+	}
+
+	for col := 0; col < 8; col++ {
+		for _, row := range []int{0, 2, xor.Row, nand.Row} {
+			if got.Tiles[0].Bit(row, col) != ref.Tiles[0].Bit(row, col) {
+				t.Fatalf("row %d col %d diverged (restarts=%d)", row, col, res.Restarts)
+			}
+		}
+		wantXor := sample[col] ^ sample[8+col]
+		if got.Tiles[0].Bit(xor.Row, col) != wantXor {
+			t.Fatalf("col %d: xor = %d, want %d", col, got.Tiles[0].Bit(xor.Row, col), wantXor)
+		}
+	}
+}
+
+// TestTraceLayerMatchesFunctionalLayer is the cross-layer consistency
+// guarantee: for the same program, the analytic trace engine (which the
+// paper-scale workloads use) and the bit-accurate functional engine must
+// account identical instruction counts, energies, and latencies under
+// continuous power.
+func TestTraceLayerMatchesFunctionalLayer(t *testing.T) {
+	cfg := mtj.ModernSTT()
+	b := compile.NewBuilder(64)
+	b.ActivateBroadcast([]uint16{0, 1, 2, 3})
+	x := b.AllocWord(5, 0)
+	y := b.AllocWord(5, 0)
+	p := b.MulWords(x, y)
+	b.Emit(isa.Read(0, p[0].Row))
+	b.Emit(isa.WriteRot(0, p[1].Row, 2))
+	prog, err := b.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Functional layer.
+	mach := array.NewMachine(cfg, 2, 64, 8)
+	c := controller.New(controller.ProgramStore(prog), mach)
+	mr := NewMachineRunner(c)
+	funcRes, err := mr.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Trace layer, priced with the identical model (including the
+	// machine-specific row width the functional runner derived).
+	r := &Runner{Model: mr.Model, MaxChargeWait: 3600}
+	traceRes := r.RunContinuous(StreamFromProgram(prog, 2))
+
+	if funcRes.Instructions != traceRes.Instructions {
+		t.Fatalf("instruction counts differ: functional %d vs trace %d", funcRes.Instructions, traceRes.Instructions)
+	}
+	if funcRes.OnLatency != traceRes.OnLatency {
+		t.Fatalf("latencies differ: %g vs %g", funcRes.OnLatency, traceRes.OnLatency)
+	}
+	diff := funcRes.ComputeEnergy - traceRes.ComputeEnergy
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > funcRes.ComputeEnergy*1e-12 {
+		t.Fatalf("compute energies differ: %.6g vs %.6g", funcRes.ComputeEnergy, traceRes.ComputeEnergy)
+	}
+	if funcRes.BackupEnergy != traceRes.BackupEnergy {
+		t.Fatalf("backup energies differ: %g vs %g", funcRes.BackupEnergy, traceRes.BackupEnergy)
+	}
+}
+
+// TestLevelSwitchCounting: a workload alternating gate and preset
+// operations crosses converter levels (Section IV-C's level-change
+// share), and the counter sees it.
+func TestLevelSwitchCounting(t *testing.T) {
+	m := energy.NewModel(mtj.ModernSTT())
+	r := NewRunner(m)
+	ops := []energy.Op{}
+	for i := 0; i < 10; i++ {
+		ops = append(ops,
+			energy.Op{Kind: isa.KindPreset, ActivePairs: 4},
+			energy.Op{Kind: isa.KindLogic, Gate: mtj.NAND2, ActivePairs: 4})
+	}
+	res := r.RunContinuous(&SliceStream{Ops: ops})
+	if res.LevelSwitches == 0 {
+		t.Fatalf("alternating preset/logic stream recorded no level switches")
+	}
+}

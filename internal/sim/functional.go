@@ -1,0 +1,222 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"mouse/internal/array"
+	"mouse/internal/controller"
+	"mouse/internal/energy"
+	"mouse/internal/isa"
+	"mouse/internal/power"
+)
+
+// MachineRunner executes a real program on the bit-accurate machine under
+// harvested power. When the buffer cannot pay for the upcoming cycle, the
+// runner injects a power failure at exactly the µ-phase where the energy
+// ran out, reboots the controller through its restore protocol, and
+// resumes — an end-to-end demonstration that computation survives
+// arbitrary interruption (Section V).
+type MachineRunner struct {
+	C     *controller.Controller
+	Model *energy.Model
+
+	// MaxChargeWait bounds one recharge wait, in seconds.
+	MaxChargeWait float64
+}
+
+// NewMachineRunner wraps a controller with the energy model for its
+// machine's configuration.
+func NewMachineRunner(c *controller.Controller) *MachineRunner {
+	m := energy.NewModel(c.Machine().Cfg)
+	// Price row transfers at the machine's actual row width rather than
+	// the full-scale 1024-column default.
+	if len(c.Machine().Tiles) > 0 {
+		m.RowBits = c.Machine().Tiles[0].Cols()
+	}
+	return &MachineRunner{
+		C:             c,
+		Model:         m,
+		MaxChargeWait: 24 * 3600,
+	}
+}
+
+// opFor prices the upcoming instruction given current machine state.
+func (r *MachineRunner) opFor(in isa.Instruction) energy.Op {
+	actCols := 0
+	if in.Kind == isa.KindAct {
+		actCols = len(in.ActiveColumns())
+		if in.Broadcast {
+			actCols *= len(r.C.Machine().Tiles)
+		}
+	}
+	return energy.OpOf(in, r.C.Machine().ActivePairs(), actCols)
+}
+
+// phaseFor maps the fraction of a cycle that completed before the outage
+// to the controller µ-phase where execution stopped, with the array
+// pulse-length fraction for mid-execute failures. The execute phase
+// occupies the bulk of the cycle; the bookkeeping writes sit at the end
+// (Section IV-B).
+func phaseFor(frac float64) (controller.Phase, *array.Partial) {
+	switch {
+	case frac < 0.05:
+		return controller.PhaseFetch, nil
+	case frac < 0.85:
+		pulse := (frac - 0.05) / 0.80
+		return controller.PhaseExecute, &array.Partial{
+			Columns: int(pulse * float64(isa.Cols)),
+			Pulse:   func(int) float64 { return pulse },
+		}
+	case frac < 0.90:
+		return controller.PhaseWriteActReg, nil
+	case frac < 0.95:
+		return controller.PhaseWritePC, nil
+	default:
+		return controller.PhaseCommitPC, nil
+	}
+}
+
+// Run executes the program to completion under harvester h (or under
+// continuous power if h is nil), returning the EH-model accounting.
+func (r *MachineRunner) Run(h *power.Harvester) (Result, error) {
+	var b energy.Breakdown
+	dt := r.Model.CycleTime()
+	lastLevel := 0
+
+	if h != nil {
+		off, err := h.ChargeUntilOn(r.MaxChargeWait)
+		if err != nil {
+			return Result{Breakdown: b}, err
+		}
+		b.OffLatency += off
+	}
+
+	retry := false
+	for {
+		in, more := r.C.Peek()
+		if !more {
+			return Result{Breakdown: b, Completed: true}, nil
+		}
+		op := r.opFor(in)
+		e := r.Model.Energy(op) + r.Model.Backup(op)
+
+		frac := 1.0
+		if h != nil {
+			frac = h.Draw(dt, e)
+		}
+		if frac >= 1 {
+			done, err := r.C.Step()
+			if err != nil {
+				return Result{Breakdown: b}, err
+			}
+			if retry {
+				// Re-execution after a restart is Dead work (the paper's
+				// "repeating the last instruction on restart").
+				b.DeadEnergy += r.Model.Energy(op)
+				b.DeadLatency += dt
+			} else {
+				b.ComputeEnergy += r.Model.Energy(op)
+			}
+			retry = false
+			b.BackupEnergy += r.Model.Backup(op)
+			b.OnLatency += dt
+			b.Instructions++
+			if lv := r.Model.Level(op); lv >= 0 && lv != lastLevel {
+				b.LevelSwitches++
+				lastLevel = lv
+			}
+			if done {
+				return Result{Breakdown: b, Completed: true}, nil
+			}
+			continue
+		}
+
+		// Outage mid-cycle: inject the failure at the matching µ-phase.
+		ph, partial := phaseFor(frac)
+		if err := r.C.StepWithFailure(ph, partial); !errors.Is(err, controller.ErrPowerFailure) {
+			return Result{Breakdown: b}, fmt.Errorf("sim: expected injected power failure, got %v", err)
+		}
+		retry = true
+		b.DeadEnergy += e * frac
+		b.DeadLatency += dt * frac
+		b.OnLatency += dt * frac
+		b.Restarts++
+
+		window := 0.5 * h.Cap.C * (h.VOn*h.VOn - h.VOff*h.VOff)
+		if e > window+h.Src.Power(h.Now())*dt {
+			return Result{Breakdown: b}, fmt.Errorf("%w (instruction needs %.3g J, window holds %.3g J)", ErrNonTermination, e, window)
+		}
+
+		r.C.PowerFail()
+		off, err := h.ChargeUntilOn(r.MaxChargeWait)
+		if err != nil {
+			return Result{Breakdown: b}, err
+		}
+		b.OffLatency += off
+
+		// Reboot: restore the column latches from the stored ACT.
+		restoreCols := 0
+		if act, ok := r.C.NV.Act(); ok {
+			restoreCols = len(act.ActiveColumns())
+			if act.Broadcast {
+				restoreCols *= len(r.C.Machine().Tiles)
+			}
+		}
+		re := r.Model.Restore(restoreCols)
+		for {
+			reFrac := h.Draw(dt, re)
+			b.RestoreEnergy += re * reFrac
+			b.RestoreLatency += dt * reFrac
+			b.OnLatency += dt * reFrac
+			if reFrac >= 1 {
+				break
+			}
+			// Even the restore ran out; recharge and retry (re-issuing
+			// an ACT is itself idempotent).
+			off, err := h.ChargeUntilOn(r.MaxChargeWait)
+			if err != nil {
+				return Result{Breakdown: b}, err
+			}
+			b.OffLatency += off
+		}
+		if err := r.C.Restart(); err != nil {
+			return Result{Breakdown: b}, err
+		}
+	}
+}
+
+// StreamFromProgram turns a concrete program into an OpStream by
+// tracking the activation state analytically (without simulating cell
+// contents): ACT instructions update the active set; logic and preset
+// operations are priced at the resulting (tile, column) parallelism.
+// nTiles is the machine's data-tile count.
+func StreamFromProgram(p isa.Program, nTiles int) OpStream {
+	return &programStream{p: p, nTiles: nTiles}
+}
+
+type programStream struct {
+	p      isa.Program
+	nTiles int
+	pos    int
+	pairs  int // current active (tile, column) pairs
+}
+
+func (s *programStream) Reset() { s.pos, s.pairs = 0, 0 }
+
+func (s *programStream) Next() (energy.Op, bool) {
+	if s.pos >= len(s.p) {
+		return energy.Op{}, false
+	}
+	in := s.p[s.pos]
+	s.pos++
+	actCols := 0
+	if in.Kind == isa.KindAct {
+		actCols = len(in.ActiveColumns())
+		if in.Broadcast {
+			actCols *= s.nTiles
+		}
+		s.pairs = actCols
+	}
+	return energy.OpOf(in, s.pairs, actCols), true
+}

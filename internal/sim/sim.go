@@ -1,0 +1,209 @@
+// Package sim is MOUSE's intermittent-execution engine. It drives a
+// program through the energy model (package energy) under a harvested
+// power supply (package power), reproducing the paper's evaluation
+// methodology (Section VIII): the machine runs while the capacitor buffer
+// is above the shutdown voltage, dies unexpectedly mid-instruction when
+// the buffer empties, recharges, restores its active columns, and
+// re-performs the interrupted instruction.
+//
+// Two layers share the engine:
+//
+//   - The trace layer (Run/RunContinuous) consumes an OpStream of
+//     (instruction kind, activity) events — this is how the paper-scale
+//     benchmarks execute, mirroring the authors' analytic R simulator.
+//   - The functional layer (MachineRunner) drives a real
+//     controller.Controller over a bit-accurate array.Machine, injecting
+//     outages at the exact µ-phase the energy ran out, so small end-to-end
+//     inferences demonstrably survive real interruption.
+//
+// Accounting convention (following the paper's EH-model usage): an
+// instruction's first-attempt commit is Compute (plus Backup) energy;
+// every failed partial attempt AND the post-restart re-execution are Dead
+// energy and Dead latency ("repeating the last instruction on restart");
+// each restart's column re-activation is Restore energy and latency. Off
+// latency is recharge waiting time, including the initial charge from an
+// empty buffer.
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"mouse/internal/energy"
+	"mouse/internal/isa"
+	"mouse/internal/power"
+)
+
+// OpStream yields the operation sequence of a program.
+type OpStream interface {
+	// Next returns the next operation, or ok=false at program end.
+	Next() (op energy.Op, ok bool)
+	// Reset rewinds the stream to the beginning.
+	Reset()
+}
+
+// SliceStream is an OpStream over a materialized operation slice.
+type SliceStream struct {
+	Ops []energy.Op
+	pos int
+}
+
+// Next returns the next operation.
+func (s *SliceStream) Next() (energy.Op, bool) {
+	if s.pos >= len(s.Ops) {
+		return energy.Op{}, false
+	}
+	op := s.Ops[s.pos]
+	s.pos++
+	return op, true
+}
+
+// Reset rewinds the stream.
+func (s *SliceStream) Reset() { s.pos = 0 }
+
+// ErrNonTermination reports that a single instruction needs more energy
+// than one full buffer discharge plus concurrent harvest can supply, so
+// the program can never make forward progress (the intermittent-computing
+// non-termination hazard of Section I).
+var ErrNonTermination = errors.New("sim: non-termination: an instruction exceeds the energy buffer's budget")
+
+// Runner executes operation streams.
+type Runner struct {
+	Model *energy.Model
+
+	// MaxChargeWait bounds a single recharge wait (guards against a
+	// source that can never reach V_on). Seconds.
+	MaxChargeWait float64
+}
+
+// NewRunner returns a runner over the given model.
+func NewRunner(m *energy.Model) *Runner {
+	return &Runner{Model: m, MaxChargeWait: 24 * 3600}
+}
+
+// Result is the outcome of one run.
+type Result struct {
+	energy.Breakdown
+	// Completed is false only when an error aborted the run.
+	Completed bool
+}
+
+// RunContinuous executes the stream under continuous power: no outages,
+// no Dead/Restore costs (Section IX, Table IV).
+func (r *Runner) RunContinuous(s OpStream) Result {
+	var b energy.Breakdown
+	dt := r.Model.CycleTime()
+	lastLevel := 0
+	for {
+		op, ok := s.Next()
+		if !ok {
+			break
+		}
+		b.ComputeEnergy += r.Model.Energy(op)
+		b.BackupEnergy += r.Model.Backup(op)
+		b.OnLatency += dt
+		b.Instructions++
+		if lv := r.Model.Level(op); lv >= 0 && lv != lastLevel {
+			b.LevelSwitches++
+			lastLevel = lv
+		}
+	}
+	return Result{Breakdown: b, Completed: true}
+}
+
+// Run executes the stream under the harvested supply h, applying the
+// shutdown/restore/re-execute protocol on every outage. The stream's
+// activation state is tracked so Restore is priced by the number of
+// columns that must be re-latched.
+func (r *Runner) Run(s OpStream, h *power.Harvester) (Result, error) {
+	var b energy.Breakdown
+	dt := r.Model.CycleTime()
+	lastLevel := 0
+	activeCols := 0 // columns the most recent ACT latched
+
+	// Initial charge from an empty (or partial) buffer.
+	off, err := h.ChargeUntilOn(r.MaxChargeWait)
+	if err != nil {
+		return Result{Breakdown: b}, err
+	}
+	b.OffLatency += off
+
+	for {
+		op, ok := s.Next()
+		if !ok {
+			break
+		}
+		e := r.Model.Energy(op) + r.Model.Backup(op)
+		// Attempt until the instruction commits. Per the paper's EH-model
+		// accounting, the re-execution of an interrupted instruction is
+		// Dead energy ("repeating the last instruction on restart"), as
+		// is the partial energy the failed attempt spent.
+		retry := false
+		for {
+			frac := h.Draw(dt, e)
+			if frac >= 1 {
+				if retry {
+					b.DeadEnergy += r.Model.Energy(op)
+					b.DeadLatency += dt
+				} else {
+					b.ComputeEnergy += r.Model.Energy(op)
+				}
+				b.BackupEnergy += r.Model.Backup(op)
+				b.OnLatency += dt
+				b.Instructions++
+				break
+			}
+			retry = true
+			// Outage mid-instruction: the partial work is Dead.
+			b.DeadEnergy += e * frac
+			b.DeadLatency += dt * frac
+			b.OnLatency += dt * frac
+			b.Restarts++
+
+			// Detect non-termination: even a full window plus one
+			// cycle's harvest cannot pay for this instruction.
+			window := 0.5 * h.Cap.C * (h.VOn*h.VOn - h.VOff*h.VOff)
+			if e > window+h.Src.Power(h.Now())*dt {
+				return Result{Breakdown: b}, fmt.Errorf("%w (instruction needs %.3g J, window holds %.3g J)", ErrNonTermination, e, window)
+			}
+
+			// Recharge, then restore the active columns.
+			off, err := h.ChargeUntilOn(r.MaxChargeWait)
+			if err != nil {
+				return Result{Breakdown: b}, err
+			}
+			b.OffLatency += off
+			if err := r.restore(h, activeCols, dt, &b); err != nil {
+				return Result{Breakdown: b}, err
+			}
+		}
+		if op.Kind == isa.KindAct {
+			activeCols = op.ActCols
+		}
+		if lv := r.Model.Level(op); lv >= 0 && lv != lastLevel {
+			b.LevelSwitches++
+			lastLevel = lv
+		}
+	}
+	return Result{Breakdown: b, Completed: true}, nil
+}
+
+// restore pays the restart cost (re-issuing the stored ACT instruction);
+// if even that triggers another outage, it recharges and retries.
+func (r *Runner) restore(h *power.Harvester, activeCols int, dt float64, b *energy.Breakdown) error {
+	e := r.Model.Restore(activeCols)
+	for {
+		frac := h.Draw(dt, e)
+		b.RestoreEnergy += e * frac
+		b.RestoreLatency += dt * frac
+		b.OnLatency += dt * frac
+		if frac >= 1 {
+			return nil
+		}
+		off, err := h.ChargeUntilOn(r.MaxChargeWait)
+		if err != nil {
+			return err
+		}
+		b.OffLatency += off
+	}
+}

@@ -1,0 +1,36 @@
+package svm_test
+
+import (
+	"fmt"
+	"log"
+
+	"mouse/internal/dataset"
+	"mouse/internal/svm"
+)
+
+// Example trains a poly-2 SVM on the synthetic census data, quantizes it
+// to the fixed-point form MOUSE executes, and checks that the integer
+// model agrees with the float model.
+func Example() {
+	ds := dataset.Adult(42, 300, 100)
+	model, err := svm.Train(ds, svm.DefaultTrainConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	im, err := model.Quantize(16)
+	if err != nil {
+		log.Fatal(err)
+	}
+	agree := 0
+	for _, s := range ds.Test {
+		if im.Predict(s.X) == model.Predict(s.X) {
+			agree++
+		}
+	}
+	fmt.Printf("classes=%d, machines=%d, fixed-point agreement %d/%d\n",
+		im.Classes, len(im.Machines), agree, len(ds.Test))
+	fmt.Println("float accuracy above chance:", svm.Accuracy(model.Predict, ds.Test) > 0.55)
+	// Output:
+	// classes=2, machines=2, fixed-point agreement 100/100
+	// float accuracy above chance: true
+}

@@ -1,0 +1,196 @@
+package svm
+
+import (
+	"fmt"
+
+	"mouse/internal/compile"
+	"mouse/internal/isa"
+	"mouse/internal/mtj"
+)
+
+// Mapping is a compiled SVM inference program following the paper's
+// application-mapping discipline (Sections VI–VII): class c's one-vs-rest
+// machine occupies column c, the input vector occupies shared rows
+// (identical across columns), and per-class model data (support vectors,
+// coefficients, bias) is embedded in the program as per-column preset
+// writes — "the instructions are written into these tiles before
+// deployment". One program pass computes every class score
+// simultaneously via column-level parallelism; the host (the memory
+// controller's read-out path, Section IV-E) reads the score word of
+// column c as class c's score.
+type Mapping struct {
+	Prog isa.Program
+
+	// InputRows[j] lists the rows (LSB first) holding input feature j;
+	// load the input value's bits there in every class column before
+	// running the program.
+	InputRows [][]int
+
+	// ScoreRows lists the accumulator rows (LSB first, two's
+	// complement); read them in column c for class c's score.
+	ScoreRows []int
+
+	// Columns is the number of class columns (= classes).
+	Columns int
+
+	// AccBits is the score width in bits.
+	AccBits int
+
+	// Gates is the total logic-gate count of one inference pass.
+	Gates int
+}
+
+// CompileMapping compiles the quantized model into a MOUSE program for
+// tiles with the given row count. inputBits is the per-feature input
+// width (8 for raw data, 1 for binarized).
+func CompileMapping(im *IntModel, rows, inputBits int) (*Mapping, error) {
+	if im.Classes > isa.Cols {
+		return nil, fmt.Errorf("svm: %d classes exceed the column count", im.Classes)
+	}
+	if inputBits < 1 || inputBits > 8 {
+		return nil, fmt.Errorf("svm: input width %d out of range", inputBits)
+	}
+	nSV := 0
+	for c := range im.Machines {
+		if len(im.Machines[c].SV) > nSV {
+			nSV = len(im.Machines[c].SV)
+		}
+	}
+	if nSV == 0 {
+		return nil, fmt.Errorf("svm: model has no support vectors")
+	}
+
+	b := compile.NewBuilder(rows)
+	allCols := func() {
+		b.ActivateBroadcast(contiguous(im.Classes))
+	}
+	oneCol := func(c int) {
+		b.ActivateBroadcast([]uint16{uint16(c)})
+	}
+
+	// Input feature words (loaded externally; shared across columns).
+	input := make([]compile.Word, im.Features)
+	for j := range input {
+		input[j] = b.AllocWord(inputBits, j&1)
+	}
+
+	// Reusable per-SV operand words: the support vector's features and
+	// the coefficient, re-preset for each support vector index.
+	svWord := make([]compile.Word, im.Features)
+	for j := range svWord {
+		svWord[j] = b.AllocWord(inputBits, (j+1)&1)
+	}
+	coeff := b.AllocWord(im.AccBits, 0)
+
+	// Score accumulator, initialized per column with the class bias.
+	acc := b.AllocWord(im.AccBits, 1)
+	for c := 0; c < im.Classes; c++ {
+		oneCol(c)
+		presetWord(b, acc, uint64(im.Machines[c].QBias))
+	}
+
+	for i := 0; i < nSV; i++ {
+		// Load support vector i and its coefficient for every class.
+		for c := 0; c < im.Classes; c++ {
+			mc := &im.Machines[c]
+			oneCol(c)
+			if i < len(mc.SV) {
+				for j := 0; j < im.Features; j++ {
+					presetWord(b, svWord[j], uint64(mc.SV[i][j]))
+				}
+				presetWord(b, coeff, uint64(mc.Q[i]))
+			} else {
+				// Machines with fewer SVs contribute a zero term.
+				for j := 0; j < im.Features; j++ {
+					presetWord(b, svWord[j], 0)
+				}
+				presetWord(b, coeff, 0)
+			}
+		}
+		allCols()
+
+		// dot = Σ_j input_j · sv_j
+		dot := b.DotProduct(input, svWord)
+
+		// u = (dot²) >> Shift, truncated to the square width.
+		sq := b.Square(dot)
+		b.FreeWord(dot)
+		lo := int(im.Shift)
+		hi := lo + sqBits
+		if hi > len(sq) {
+			hi = len(sq)
+		}
+		var u compile.Word
+		if lo < len(sq) {
+			u = sq[lo:hi]
+		}
+		for k := 0; k < lo && k < len(sq); k++ {
+			b.Free(sq[k])
+		}
+		for k := hi; k < len(sq); k++ {
+			b.Free(sq[k])
+		}
+
+		// acc += coeff · u (two's complement, fixed width).
+		term := b.MulFixed(coeff, u)
+		b.FreeWord(u)
+		next := b.AddFixed(acc, term, false)
+		b.FreeWord(term)
+		b.FreeWord(acc)
+		acc = next
+	}
+
+	prog, err := b.Program()
+	if err != nil {
+		return nil, err
+	}
+	m := &Mapping{
+		Prog:    prog,
+		Columns: im.Classes,
+		AccBits: im.AccBits,
+		Gates:   b.GateCount(),
+	}
+	for _, w := range input {
+		m.InputRows = append(m.InputRows, wordRows(w))
+	}
+	m.ScoreRows = wordRows(acc)
+	return m, nil
+}
+
+// presetWord emits preset writes storing value v into the word's rows
+// (affecting the currently active columns).
+func presetWord(b *compile.Builder, w compile.Word, v uint64) {
+	for i, bit := range w {
+		b.Emit(isa.Preset(bit.Row, mtj.FromBit(int(v>>i)&1)))
+	}
+}
+
+func wordRows(w compile.Word) []int {
+	rows := make([]int, len(w))
+	for i, bit := range w {
+		rows[i] = bit.Row
+	}
+	return rows
+}
+
+func contiguous(n int) []uint16 {
+	cols := make([]uint16, n)
+	for i := range cols {
+		cols[i] = uint16(i)
+	}
+	return cols
+}
+
+// ReadScore decodes a two's-complement score read from the given rows of
+// a column (bits[i] is the value of ScoreRows[i]).
+func (m *Mapping) ReadScore(bits []int) int64 {
+	var v uint64
+	for i, bit := range bits {
+		v |= uint64(bit&1) << i
+	}
+	// Sign extend.
+	if len(bits) < 64 && bits[len(bits)-1] == 1 {
+		v |= ^uint64(0) << len(bits)
+	}
+	return int64(v)
+}

@@ -1,0 +1,94 @@
+package svm
+
+import (
+	"testing"
+
+	"mouse/internal/array"
+	"mouse/internal/controller"
+	"mouse/internal/mtj"
+)
+
+// TestMappingMatchesGoldenModel is the SVM end-to-end check: the compiled
+// MOUSE program, executed gate by gate on the functional array, produces
+// bit-identical class scores to the fixed-point golden model.
+func TestMappingMatchesGoldenModel(t *testing.T) {
+	ds := tinySet(21, 6, 4)
+	m, err := Train(ds, DefaultTrainConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	im, err := m.Quantize(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const inputBits = 4 // tinySet features are 0..15
+	mp, err := CompileMapping(im, 1024, inputBits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("compiled: %d instructions, %d gates, %d SVs, acc width %d",
+		len(mp.Prog), mp.Gates, im.NumSV(), im.AccBits)
+
+	mach := array.NewMachine(mtj.ModernSTT(), 1, 1024, mp.Columns)
+	for _, s := range ds.Test[:3] {
+		// Load the input into every class column.
+		for j, rows := range mp.InputRows {
+			for bi, row := range rows {
+				bit := (s.X[j] >> bi) & 1
+				for col := 0; col < mp.Columns; col++ {
+					mach.Tiles[0].SetBit(row, col, bit)
+				}
+			}
+		}
+		c := controller.New(controller.ProgramStore(mp.Prog), mach)
+		if err := c.Run(); err != nil {
+			t.Fatal(err)
+		}
+		want := im.Scores(s.X)
+		for col := 0; col < mp.Columns; col++ {
+			bits := make([]int, len(mp.ScoreRows))
+			for i, row := range mp.ScoreRows {
+				bits[i] = mach.Tiles[0].Bit(row, col)
+			}
+			got := mp.ReadScore(bits)
+			if got != want[col] {
+				t.Errorf("class %d score = %d, want %d", col, got, want[col])
+			}
+		}
+	}
+}
+
+func TestCompileMappingErrors(t *testing.T) {
+	ds := tinySet(22, 4, 3)
+	m, err := Train(ds, DefaultTrainConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	im, err := m.Quantize(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CompileMapping(im, 1024, 0); err == nil {
+		t.Errorf("zero input width accepted")
+	}
+	if _, err := CompileMapping(im, 1024, 9); err == nil {
+		t.Errorf("9-bit input width accepted")
+	}
+	if _, err := CompileMapping(im, 64, 4); err == nil {
+		t.Errorf("tiny row budget accepted")
+	}
+	empty := &IntModel{Features: 4, Classes: 2, AccBits: 10, Machines: make([]IntBinary, 2)}
+	if _, err := CompileMapping(empty, 1024, 4); err == nil {
+		t.Errorf("empty model accepted")
+	}
+}
+
+func TestReadScoreSignExtension(t *testing.T) {
+	mp := &Mapping{}
+	if got := mp.ReadScore([]int{1, 0, 0, 1}); got != -7 {
+		t.Errorf("ReadScore(1001) = %d, want -7", got)
+	}
+	if got := mp.ReadScore([]int{1, 1, 0, 0}); got != 3 {
+		t.Errorf("ReadScore(0011) = %d, want 3", got)
+	}
+}

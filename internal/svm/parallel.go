@@ -1,0 +1,266 @@
+package svm
+
+import (
+	"fmt"
+
+	"mouse/internal/compile"
+	"mouse/internal/isa"
+)
+
+// SV-parallel mapping (Section VI's "by using many columns and multiple
+// tiles, this can be performed for many vectors simultaneously"): every
+// (class, support vector) pair occupies its own column, the input vector
+// is replicated across columns, one uniform instruction sequence
+// computes every kernel term at once, and the per-class score reduces
+// through a SIMD tree of rotated read/write moves. Classes are padded to
+// a common power-of-two support-vector count K with zero-coefficient
+// vectors so the reduction strides are uniform.
+type ParallelMapping struct {
+	Prog isa.Program
+
+	// InputRows[j] lists the rows (LSB first) of input feature j; load
+	// the same bits into every column.
+	InputRows [][]int
+
+	// ScoreRows lists the accumulator rows (LSB first, two's
+	// complement); read them in column ClassColumn(c) for class c.
+	ScoreRows []int
+
+	// Columns is the total column count (classes × K); the machine's
+	// tiles must be exactly this wide so the reduction rotation wraps.
+	Columns int
+
+	// K is the padded per-class support-vector count.
+	K int
+
+	// AccBits is the score width.
+	AccBits int
+
+	// Gates is the logic-gate count of one inference.
+	Gates int
+
+	// ArgmaxRows, when the mapping was compiled with the in-array
+	// argmax tournament, lists the rows (LSB first) of the winning
+	// class index; read them in column 0. Nil otherwise.
+	ArgmaxRows []int
+
+	// WinnerScoreRows, in argmax mappings, lists the rows of the
+	// tournament winner's score word (read in column 0).
+	WinnerScoreRows []int
+}
+
+// ClassColumn returns the column holding class c's reduced score.
+func (m *ParallelMapping) ClassColumn(c int) int { return c * m.K }
+
+// CompileParallelMapping compiles the quantized model in the SV-parallel
+// mapping for tiles with the given row count.
+func CompileParallelMapping(im *IntModel, rows, inputBits int) (*ParallelMapping, error) {
+	return compileParallel(im, rows, inputBits, false)
+}
+
+// CompileParallelArgmax additionally runs the one-vs-rest class
+// selection *inside the array* (Section III: "we take the highest-score
+// output of the 10 classifiers to be the final classification"): a
+// tournament of signed comparisons and muxes over the class columns,
+// fed by rotated moves, leaves the winning class index in column 0.
+// Classes are padded to a power of two with −∞-scored dummies.
+func CompileParallelArgmax(im *IntModel, rows, inputBits int) (*ParallelMapping, error) {
+	return compileParallel(im, rows, inputBits, true)
+}
+
+func compileParallel(im *IntModel, rows, inputBits int, argmax bool) (*ParallelMapping, error) {
+	if inputBits < 1 || inputBits > 8 {
+		return nil, fmt.Errorf("svm: input width %d out of range", inputBits)
+	}
+	maxSV := 0
+	for c := range im.Machines {
+		if n := len(im.Machines[c].SV); n > maxSV {
+			maxSV = n
+		}
+	}
+	if maxSV == 0 {
+		return nil, fmt.Errorf("svm: model has no support vectors")
+	}
+	k := 1
+	for k < maxSV {
+		k <<= 1
+	}
+	classes := im.Classes
+	if argmax {
+		// Pad the class count to a power of two so the tournament
+		// strides are uniform; dummies carry the most negative score.
+		for classes&(classes-1) != 0 {
+			classes++
+		}
+	}
+	total := classes * k
+	if total > isa.Cols {
+		return nil, fmt.Errorf("svm: %d×%d columns exceed the column count", classes, k)
+	}
+
+	b := compile.NewBuilder(rows)
+	allCols := func() { b.Emit(isa.ActRange(true, 0, 0, total, 1)) }
+	allCols()
+
+	// Shared input rows (externally loaded, identical in every column).
+	input := make([]compile.Word, im.Features)
+	for j := range input {
+		input[j] = b.AllocWord(inputBits, j&1)
+	}
+
+	// Per-column model data: the support vector, its coefficient, and
+	// the bias addend (nonzero only in each class's first column).
+	svWord := make([]compile.Word, im.Features)
+	for j := range svWord {
+		svWord[j] = b.AllocWord(inputBits, (j+1)&1)
+	}
+	coeff := b.AllocWord(im.AccBits, 0)
+	bias := b.AllocWord(im.AccBits, 1)
+	minScore := uint64(1) << (im.AccBits - 1) // two's-complement minimum
+	for col := 0; col < total; col++ {
+		class, idx := col/k, col%k
+		b.ActivateBroadcast([]uint16{uint16(col)})
+		if class >= im.Classes {
+			// Dummy tournament class: −∞ score, no support vectors.
+			for j := 0; j < im.Features; j++ {
+				presetWord(b, svWord[j], 0)
+			}
+			presetWord(b, coeff, 0)
+			presetWord(b, bias, minScore)
+			continue
+		}
+		mc := &im.Machines[class]
+		if idx < len(mc.SV) {
+			for j := 0; j < im.Features; j++ {
+				presetWord(b, svWord[j], uint64(mc.SV[idx][j]))
+			}
+			presetWord(b, coeff, uint64(mc.Q[idx]))
+		} else {
+			for j := 0; j < im.Features; j++ {
+				presetWord(b, svWord[j], 0)
+			}
+			presetWord(b, coeff, 0)
+		}
+		if idx == 0 {
+			presetWord(b, bias, uint64(mc.QBias))
+		} else {
+			presetWord(b, bias, 0)
+		}
+	}
+	allCols()
+
+	// Uniform kernel term: dot, square, shift, coefficient MAC, bias.
+	var dot compile.Word
+	for j := 0; j < im.Features; j++ {
+		p := b.MulWords(input[j], svWord[j])
+		if dot == nil {
+			dot = p
+			continue
+		}
+		dot = b.AddShifted(dot, p, 0)
+		b.FreeWord(p)
+	}
+	sq := b.Square(dot)
+	b.FreeWord(dot)
+	lo := int(im.Shift)
+	hi := lo + sqBits
+	if hi > len(sq) {
+		hi = len(sq)
+	}
+	var u compile.Word
+	if lo < len(sq) {
+		u = sq[lo:hi]
+	}
+	for i := 0; i < lo && i < len(sq); i++ {
+		b.Free(sq[i])
+	}
+	for i := hi; i < len(sq); i++ {
+		b.Free(sq[i])
+	}
+	term := b.MulFixed(coeff, u)
+	b.FreeWord(u)
+	acc := b.AddFixed(term, bias, false)
+	b.FreeWord(term)
+
+	// SIMD tree reduction: at stride s, every column adds the score of
+	// the column s to its right (rotated move), so after log2(K) levels
+	// each class's first column holds the class sum.
+	incoming := b.AllocWord(im.AccBits, 0)
+	for s := 1; s < k; s <<= 1 {
+		for i, bit := range acc {
+			b.Emit(isa.Read(0, bit.Row))
+			b.Emit(isa.WriteRot(0, incoming[i].Row, total-s))
+		}
+		next := b.AddFixed(acc, incoming, false)
+		b.FreeWord(acc)
+		acc = next
+	}
+
+	// Optional in-array argmax: a tournament over the class-leader
+	// columns. Each level pulls the competitor's score and index from s
+	// leader-strides away, compares signed, and muxes both. The
+	// pre-tournament per-class scores stay live so callers can still
+	// read them at the class columns.
+	classScores := acc
+	var idx compile.Word
+	if argmax {
+		idxBits := 1
+		for 1<<idxBits < classes {
+			idxBits++
+		}
+		idx = b.AllocWord(idxBits, 0)
+		for col := 0; col < total; col++ {
+			b.ActivateBroadcast([]uint16{uint16(col)})
+			presetWord(b, idx, uint64(col/k))
+		}
+		allCols()
+		inScore := b.AllocWord(im.AccBits, 1)
+		inIdx := b.AllocWord(idxBits, 1)
+		for s := k; s < total; s <<= 1 {
+			for i, bit := range acc {
+				b.Emit(isa.Read(0, bit.Row))
+				b.Emit(isa.WriteRot(0, inScore[i].Row, total-s))
+			}
+			for i, bit := range idx {
+				b.Emit(isa.Read(0, bit.Row))
+				b.Emit(isa.WriteRot(0, inIdx[i].Row, total-s))
+			}
+			worse := b.SignedLessThan(acc, inScore)
+			nextScore := b.Mux(worse, acc, inScore)
+			nextIdx := b.Mux(worse, idx, inIdx)
+			b.Free(worse)
+			if &acc[0] != &classScores[0] {
+				b.FreeWord(acc)
+			}
+			b.FreeWord(idx)
+			acc, idx = nextScore, nextIdx
+		}
+	}
+
+	prog, err := b.Program()
+	if err != nil {
+		return nil, err
+	}
+	m := &ParallelMapping{
+		Prog:    prog,
+		Columns: total,
+		K:       k,
+		AccBits: im.AccBits,
+		Gates:   b.GateCount(),
+	}
+	for _, w := range input {
+		m.InputRows = append(m.InputRows, wordRows(w))
+	}
+	m.ScoreRows = wordRows(classScores)
+	if idx != nil {
+		m.ArgmaxRows = wordRows(idx)
+		m.WinnerScoreRows = wordRows(acc)
+	}
+	return m, nil
+}
+
+// ReadScore decodes a two's-complement score from bits read at
+// ScoreRows (shared with the class-per-column mapping).
+func (m *ParallelMapping) ReadScore(bits []int) int64 {
+	return (&Mapping{}).ReadScore(bits)
+}

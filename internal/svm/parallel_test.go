@@ -1,0 +1,294 @@
+package svm
+
+import (
+	"testing"
+
+	"mouse/internal/array"
+	"mouse/internal/controller"
+	"mouse/internal/mtj"
+	"mouse/internal/power"
+	"mouse/internal/sim"
+)
+
+// TestParallelMappingMatchesGolden verifies the SV-per-column mapping —
+// including the rotated-move class reduction — bit-for-bit against the
+// fixed-point golden model.
+func TestParallelMappingMatchesGolden(t *testing.T) {
+	ds := tinySet(71, 6, 3)
+	m, err := Train(ds, DefaultTrainConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	im, err := m.Quantize(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const inputBits = 4
+	mp, err := CompileParallelMapping(im, 1024, inputBits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("SV-parallel: %d instructions, %d gates, %d columns (K=%d)",
+		len(mp.Prog), mp.Gates, mp.Columns, mp.K)
+
+	mach := array.NewMachine(mtj.ModernSTT(), 1, 1024, mp.Columns)
+	for _, s := range ds.Test[:3] {
+		for j, rows := range mp.InputRows {
+			for bi, row := range rows {
+				bit := (s.X[j] >> bi) & 1
+				for col := 0; col < mp.Columns; col++ {
+					mach.Tiles[0].SetBit(row, col, bit)
+				}
+			}
+		}
+		c := controller.New(controller.ProgramStore(mp.Prog), mach)
+		if err := c.Run(); err != nil {
+			t.Fatal(err)
+		}
+		want := im.Scores(s.X)
+		for class := 0; class < im.Classes; class++ {
+			col := mp.ClassColumn(class)
+			bits := make([]int, len(mp.ScoreRows))
+			for i, row := range mp.ScoreRows {
+				bits[i] = mach.Tiles[0].Bit(row, col)
+			}
+			if got := mp.ReadScore(bits); got != want[class] {
+				t.Errorf("class %d: SV-parallel score %d, want %d", class, got, want[class])
+			}
+		}
+	}
+}
+
+// TestParallelMappingSurvivesOutages stresses the rotated-move reduction
+// across checkpoint boundaries under a starved supply.
+func TestParallelMappingSurvivesOutages(t *testing.T) {
+	ds := tinySet(72, 5, 3)
+	m, err := Train(ds, DefaultTrainConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	im, err := m.Quantize(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mp, err := CompileParallelMapping(im, 1024, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := ds.Test[0].X
+
+	runOnce := func(h *power.Harvester) ([]int64, uint64) {
+		mach := array.NewMachine(mtj.ModernSTT(), 1, 1024, mp.Columns)
+		for j, rows := range mp.InputRows {
+			for bi, row := range rows {
+				bit := (x[j] >> bi) & 1
+				for col := 0; col < mp.Columns; col++ {
+					mach.Tiles[0].SetBit(row, col, bit)
+				}
+			}
+		}
+		c := controller.New(controller.ProgramStore(mp.Prog), mach)
+		res, err := sim.NewMachineRunner(c).Run(h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scores := make([]int64, im.Classes)
+		for class := range scores {
+			bits := make([]int, len(mp.ScoreRows))
+			for i, row := range mp.ScoreRows {
+				bits[i] = mach.Tiles[0].Bit(row, mp.ClassColumn(class))
+			}
+			scores[class] = mp.ReadScore(bits)
+		}
+		return scores, res.Restarts
+	}
+
+	want, _ := runOnce(nil)
+	cfg := mtj.ModernSTT()
+	got, restarts := runOnce(power.NewHarvester(power.Constant{W: 3e-6}, 10e-9, cfg.CapVMin, cfg.CapVMax))
+	if restarts == 0 {
+		t.Fatalf("starved run saw no outages")
+	}
+	golden := im.Scores(x)
+	for class := range want {
+		if got[class] != want[class] || got[class] != golden[class] {
+			t.Fatalf("class %d: %d (outages) vs %d (continuous) vs %d (golden), restarts=%d",
+				class, got[class], want[class], golden[class], restarts)
+		}
+	}
+}
+
+// TestParallelFasterThanClassLocal confirms the mapping trade-off: the
+// SV-parallel program is much shorter than the class-per-column one,
+// which serializes support vectors.
+func TestParallelFasterThanClassLocal(t *testing.T) {
+	ds := tinySet(73, 6, 4)
+	m, err := Train(ds, DefaultTrainConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	im, err := m.Quantize(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := CompileParallelMapping(im, 1024, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := CompileMapping(im, 1024, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(par.Prog)*2 > len(local.Prog) {
+		t.Errorf("SV-parallel %d instructions not ≥2× below class-local %d", len(par.Prog), len(local.Prog))
+	}
+	t.Logf("instructions: SV-parallel %d vs class-local %d (%.1fx)",
+		len(par.Prog), len(local.Prog), float64(len(local.Prog))/float64(len(par.Prog)))
+}
+
+func TestCompileParallelMappingValidates(t *testing.T) {
+	ds := tinySet(74, 4, 3)
+	m, err := Train(ds, DefaultTrainConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	im, err := m.Quantize(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CompileParallelMapping(im, 1024, 0); err == nil {
+		t.Errorf("zero input width accepted")
+	}
+	if _, err := CompileParallelMapping(im, 80, 4); err == nil {
+		t.Errorf("tiny row budget accepted")
+	}
+	empty := &IntModel{Features: 4, Classes: 2, AccBits: 10, Machines: make([]IntBinary, 2)}
+	if _, err := CompileParallelMapping(empty, 1024, 4); err == nil {
+		t.Errorf("empty model accepted")
+	}
+	huge := &IntModel{Features: 4, Classes: 64, AccBits: 10, Machines: make([]IntBinary, 64)}
+	for i := range huge.Machines {
+		huge.Machines[i].SV = make([][]int, 64)
+		huge.Machines[i].Q = make([]int64, 64)
+		for j := range huge.Machines[i].SV {
+			huge.Machines[i].SV[j] = []int{1, 2, 3, 4}
+		}
+	}
+	if _, err := CompileParallelMapping(huge, 1024, 4); err == nil {
+		t.Errorf("column overflow accepted")
+	}
+}
+
+// TestArgmaxTournamentMatchesPredict verifies the fully in-array
+// inference: the winning class index read from column 0 equals the
+// golden model's Predict on every sample.
+func TestArgmaxTournamentMatchesPredict(t *testing.T) {
+	ds := tinySet(75, 6, 3)
+	m, err := Train(ds, DefaultTrainConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	im, err := m.Quantize(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mp, err := CompileParallelArgmax(im, 1024, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mp.ArgmaxRows == nil {
+		t.Fatalf("argmax rows missing")
+	}
+	// 3 classes pad to 4 tournament slots.
+	if mp.Columns%4 != 0 {
+		t.Fatalf("padded columns = %d", mp.Columns)
+	}
+	t.Logf("argmax mapping: %d instructions, %d gates, %d columns", len(mp.Prog), mp.Gates, mp.Columns)
+
+	mach := array.NewMachine(mtj.ModernSTT(), 1, 1024, mp.Columns)
+	for _, s := range ds.Test {
+		for j, rows := range mp.InputRows {
+			for bi, row := range rows {
+				bit := (s.X[j] >> bi) & 1
+				for col := 0; col < mp.Columns; col++ {
+					mach.Tiles[0].SetBit(row, col, bit)
+				}
+			}
+		}
+		c := controller.New(controller.ProgramStore(mp.Prog), mach)
+		if err := c.Run(); err != nil {
+			t.Fatal(err)
+		}
+		got := 0
+		for i, row := range mp.ArgmaxRows {
+			got |= mach.Tiles[0].Bit(row, 0) << i
+		}
+		if want := im.Predict(s.X); got != want {
+			t.Errorf("in-array argmax = %d, golden Predict = %d (scores %v)", got, want, im.Scores(s.X))
+		}
+		// The winning score in column 0 equals the max class score, and
+		// the per-class scores remain readable at the class columns.
+		bits := make([]int, len(mp.WinnerScoreRows))
+		for i, row := range mp.WinnerScoreRows {
+			bits[i] = mach.Tiles[0].Bit(row, 0)
+		}
+		maxScore := im.Scores(s.X)[im.Predict(s.X)]
+		if got := mp.ReadScore(bits); got != maxScore {
+			t.Errorf("tournament winner score %d, want %d", got, maxScore)
+		}
+		for class, want := range im.Scores(s.X) {
+			cb := make([]int, len(mp.ScoreRows))
+			for i, row := range mp.ScoreRows {
+				cb[i] = mach.Tiles[0].Bit(row, mp.ClassColumn(class))
+			}
+			if got := mp.ReadScore(cb); got != want {
+				t.Errorf("class %d score %d after tournament, want %d", class, got, want)
+			}
+		}
+	}
+}
+
+func TestClassifyHelpers(t *testing.T) {
+	ds := tinySet(76, 6, 3)
+	m, err := Train(ds, DefaultTrainConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	im, err := m.Quantize(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, withArgmax := range []bool{false, true} {
+		var mp *ParallelMapping
+		if withArgmax {
+			mp, err = CompileParallelArgmax(im, 1024, 4)
+		} else {
+			mp, err = CompileParallelMapping(im, 1024, 4)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		mach := mp.NewMachine(mtj.ModernSTT(), 1024)
+		for _, s := range ds.Test[:3] {
+			got, err := mp.Classify(mach, s.X)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := im.Predict(s.X); got != want {
+				t.Errorf("argmax=%v: Classify = %d, want %d", withArgmax, got, want)
+			}
+			scores, err := mp.Scores(mach, s.X)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for c, want := range im.Scores(s.X) {
+				if scores[c] != want {
+					t.Errorf("class %d score %d, want %d", c, scores[c], want)
+				}
+			}
+		}
+		if _, err := mp.Classify(mach, []int{1}); err == nil {
+			t.Errorf("short input accepted")
+		}
+	}
+}

@@ -1,0 +1,170 @@
+package svm
+
+import (
+	"fmt"
+	"math"
+)
+
+// IntModel is the fixed-point form of a trained SVM: exactly the
+// arithmetic MOUSE performs in the array (integer dot product, square,
+// optional right shift, signed integer coefficient multiply-accumulate).
+// It is the bit-exact golden reference the compiled hardware program is
+// verified against.
+type IntModel struct {
+	Features int
+	Classes  int
+
+	// Shift discards low bits of the squared dot product before the
+	// coefficient multiply (free in hardware: the multiplier simply
+	// reads higher rows), keeping accumulators narrow.
+	Shift uint
+
+	// CoeffBits is the signed coefficient width.
+	CoeffBits int
+
+	// AccBits is the accumulator width needed to hold any score without
+	// overflow, used by the hardware mapper and the workload model.
+	AccBits int
+
+	Machines []IntBinary
+}
+
+// IntBinary is one quantized one-vs-rest machine.
+type IntBinary struct {
+	SV    [][]int
+	Q     []int64 // signed quantized coefficients
+	QBias int64
+}
+
+// sqBits bounds the width of the shifted squared dot product.
+const sqBits = 20
+
+// Quantize converts the trained model to fixed point with coeffBits-wide
+// signed coefficients.
+func (m *Model) Quantize(coeffBits int) (*IntModel, error) {
+	if coeffBits < 2 || coeffBits > 32 {
+		return nil, fmt.Errorf("svm: coefficient width %d out of range", coeffBits)
+	}
+	// Bound the raw dot product: inputs come from the same distribution
+	// as the support vectors, so the largest feature value seen across
+	// the SVs bounds the input range (255 for raw data, 1 for binarized).
+	maxFeat := 1
+	for c := range m.Machines {
+		for _, sv := range m.Machines[c].SV {
+			for _, v := range sv {
+				if v > maxFeat {
+					maxFeat = v
+				}
+			}
+		}
+	}
+	maxDot := int64(1)
+	maxAbsW := 0.0
+	for c := range m.Machines {
+		mc := &m.Machines[c]
+		for i, sv := range mc.SV {
+			s := int64(0)
+			for _, v := range sv {
+				s += int64(v) * int64(maxFeat)
+			}
+			if s > maxDot {
+				maxDot = s
+			}
+			if w := math.Abs(mc.Coeff[i]) / (m.KernelScale * m.KernelScale); w > maxAbsW {
+				maxAbsW = w
+			}
+		}
+	}
+	if maxAbsW == 0 {
+		return nil, fmt.Errorf("svm: model has no support vectors")
+	}
+	// Choose the shift so the shifted square fits in sqBits bits.
+	sq := float64(maxDot) * float64(maxDot)
+	shift := uint(0)
+	for sq/math.Pow(2, float64(shift)) >= math.Pow(2, sqBits) {
+		shift++
+	}
+	qmax := float64(int64(1)<<(coeffBits-1) - 1)
+	f := qmax / (maxAbsW * math.Pow(2, float64(shift)))
+
+	im := &IntModel{
+		Features:  m.Features,
+		Classes:   m.Classes,
+		Shift:     shift,
+		CoeffBits: coeffBits,
+	}
+	var maxMag float64
+	for c := range m.Machines {
+		mc := &m.Machines[c]
+		ib := IntBinary{SV: mc.SV, QBias: int64(math.Round(mc.Bias * f))}
+		mag := math.Abs(float64(ib.QBias))
+		for i := range mc.Coeff {
+			w := mc.Coeff[i] / (m.KernelScale * m.KernelScale)
+			q := int64(math.Round(w * math.Pow(2, float64(shift)) * f))
+			ib.Q = append(ib.Q, q)
+			mag += math.Abs(float64(q)) * math.Pow(2, sqBits)
+		}
+		if mag > maxMag {
+			maxMag = mag
+		}
+		im.Machines = append(im.Machines, ib)
+	}
+	im.AccBits = int(math.Ceil(math.Log2(maxMag+1))) + 2 // magnitude + sign + slack
+	if im.AccBits > 62 {
+		return nil, fmt.Errorf("svm: accumulator needs %d bits; increase Shift or reduce model size", im.AccBits)
+	}
+	return im, nil
+}
+
+// Dot returns the raw integer dot product of x with support vector i of
+// machine c.
+func (im *IntModel) Dot(c, i int, x []int) int64 {
+	s := int64(0)
+	sv := im.Machines[c].SV[i]
+	for j := range sv {
+		s += int64(x[j]) * int64(sv[j])
+	}
+	return s
+}
+
+// Score returns machine c's integer score for x, using exactly the
+// hardware arithmetic: d², right shift, signed MAC.
+func (im *IntModel) Score(c int, x []int) int64 {
+	mc := &im.Machines[c]
+	acc := mc.QBias
+	for i := range mc.SV {
+		d := im.Dot(c, i, x)
+		u := (d * d) >> im.Shift
+		acc += mc.Q[i] * u
+	}
+	return acc
+}
+
+// Scores returns every machine's integer score.
+func (im *IntModel) Scores(x []int) []int64 {
+	out := make([]int64, im.Classes)
+	for c := range out {
+		out[c] = im.Score(c, x)
+	}
+	return out
+}
+
+// Predict returns the highest-scoring class.
+func (im *IntModel) Predict(x []int) int {
+	best, bestScore := 0, int64(math.MinInt64)
+	for c := 0; c < im.Classes; c++ {
+		if s := im.Score(c, x); s > bestScore {
+			best, bestScore = c, s
+		}
+	}
+	return best
+}
+
+// NumSV returns the total support vector count.
+func (im *IntModel) NumSV() int {
+	n := 0
+	for i := range im.Machines {
+		n += len(im.Machines[i].SV)
+	}
+	return n
+}

@@ -1,0 +1,222 @@
+// Package svm implements the support vector machines of the paper's case
+// studies (Section III): polynomial-kernel (degree 2) SVMs trained
+// offline in software, extended to multi-class problems one-vs-rest (one
+// binary machine per class, highest score wins), and quantized to the
+// fixed-point integer form MOUSE executes — the inference computation is
+// "effectively performing the dot product between an input vector and
+// each of the support vectors", squaring, scaling by coefficients, and
+// summing.
+//
+// Training uses dual coordinate descent on the L1-SVM dual with a
+// precomputed kernel matrix, the standard approach for small data sets.
+// The paper trains in R; the algorithm family and the resulting inference
+// structure are the same.
+package svm
+
+import (
+	"fmt"
+	"math"
+
+	"mouse/internal/dataset"
+)
+
+// TrainConfig controls the dual coordinate descent trainer.
+type TrainConfig struct {
+	// C is the box constraint (regularization). Typical: 1.
+	C float64
+	// Passes is the number of full sweeps over the training set.
+	Passes int
+	// KernelScale divides dot products before squaring, keeping kernel
+	// values numerically tame. Zero selects an automatic scale (the mean
+	// training-point norm).
+	KernelScale float64
+}
+
+// DefaultTrainConfig returns sensible defaults.
+func DefaultTrainConfig() TrainConfig {
+	return TrainConfig{C: 1, Passes: 12}
+}
+
+// Binary is one trained one-vs-rest machine: score(x) = Σ coeffᵢ·K(x,svᵢ) + bias,
+// with K(x,y) = (x·y / scale)².
+type Binary struct {
+	SV    [][]int
+	Coeff []float64
+	Bias  float64
+}
+
+// Model is a multi-class polynomial-kernel SVM.
+type Model struct {
+	Features int
+	Classes  int
+	// KernelScale is the shared dot-product scale.
+	KernelScale float64
+	Machines    []Binary
+}
+
+// NumSV returns the total number of support vectors across machines (the
+// #SV column of Table IV).
+func (m *Model) NumSV() int {
+	n := 0
+	for i := range m.Machines {
+		n += len(m.Machines[i].SV)
+	}
+	return n
+}
+
+func dotInt(a, b []int) float64 {
+	s := 0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return float64(s)
+}
+
+// Train fits a one-vs-rest poly-2 SVM on the training split.
+func Train(ds *dataset.Set, cfg TrainConfig) (*Model, error) {
+	if len(ds.Train) == 0 {
+		return nil, fmt.Errorf("svm: empty training set")
+	}
+	if cfg.C <= 0 || cfg.Passes <= 0 {
+		return nil, fmt.Errorf("svm: bad config %+v", cfg)
+	}
+	n := len(ds.Train)
+
+	scale := cfg.KernelScale
+	if scale == 0 {
+		mean := 0.0
+		for _, s := range ds.Train {
+			mean += math.Sqrt(dotInt(s.X, s.X))
+		}
+		scale = mean / float64(n)
+		if scale == 0 {
+			scale = 1
+		}
+	}
+
+	// Precompute the kernel matrix once; every one-vs-rest machine
+	// reuses it with different labels.
+	k := make([][]float64, n)
+	for i := range k {
+		k[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			d := dotInt(ds.Train[i].X, ds.Train[j].X) / scale
+			v := d * d
+			k[i][j] = v
+			k[j][i] = v
+		}
+	}
+
+	m := &Model{
+		Features:    ds.NumFeatures,
+		Classes:     ds.NumClasses,
+		KernelScale: scale,
+	}
+	for c := 0; c < ds.NumClasses; c++ {
+		y := make([]float64, n)
+		for i, s := range ds.Train {
+			if s.Label == c {
+				y[i] = 1
+			} else {
+				y[i] = -1
+			}
+		}
+		m.Machines = append(m.Machines, trainBinary(ds.Train, y, k, cfg))
+	}
+	return m, nil
+}
+
+// trainBinary runs dual coordinate descent for one binary problem.
+func trainBinary(train []dataset.Sample, y []float64, k [][]float64, cfg TrainConfig) Binary {
+	n := len(train)
+	alpha := make([]float64, n)
+	// f[i] = Σ_j alpha_j y_j K_ij, maintained incrementally.
+	f := make([]float64, n)
+	for pass := 0; pass < cfg.Passes; pass++ {
+		for i := 0; i < n; i++ {
+			kii := k[i][i]
+			if kii <= 0 {
+				continue
+			}
+			g := y[i]*f[i] - 1
+			old := alpha[i]
+			na := old - g/kii
+			if na < 0 {
+				na = 0
+			} else if na > cfg.C {
+				na = cfg.C
+			}
+			if na == old {
+				continue
+			}
+			delta := (na - old) * y[i]
+			alpha[i] = na
+			for j := 0; j < n; j++ {
+				f[j] += delta * k[i][j]
+			}
+		}
+	}
+	// Bias: average of y_i - f_i over free support vectors (0<α<C); if
+	// none are free, over all support vectors.
+	var b Binary
+	biasSum, biasN := 0.0, 0
+	freeSum, freeN := 0.0, 0
+	for i := 0; i < n; i++ {
+		if alpha[i] <= 0 {
+			continue
+		}
+		b.SV = append(b.SV, train[i].X)
+		b.Coeff = append(b.Coeff, alpha[i]*y[i])
+		biasSum += y[i] - f[i]
+		biasN++
+		if alpha[i] < cfg.C {
+			freeSum += y[i] - f[i]
+			freeN++
+		}
+	}
+	switch {
+	case freeN > 0:
+		b.Bias = freeSum / float64(freeN)
+	case biasN > 0:
+		b.Bias = biasSum / float64(biasN)
+	}
+	return b
+}
+
+// Score returns machine c's real-valued score for input x.
+func (m *Model) Score(c int, x []int) float64 {
+	mc := &m.Machines[c]
+	s := mc.Bias
+	for i, sv := range mc.SV {
+		d := dotInt(x, sv) / m.KernelScale
+		s += mc.Coeff[i] * d * d
+	}
+	return s
+}
+
+// Predict returns the class with the highest score (one-vs-rest).
+func (m *Model) Predict(x []int) int {
+	best, bestScore := 0, math.Inf(-1)
+	for c := 0; c < m.Classes; c++ {
+		if s := m.Score(c, x); s > bestScore {
+			best, bestScore = c, s
+		}
+	}
+	return best
+}
+
+// Accuracy evaluates a predictor over samples.
+func Accuracy(predict func([]int) int, samples []dataset.Sample) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	correct := 0
+	for _, s := range samples {
+		if predict(s.X) == s.Label {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(samples))
+}

@@ -1,0 +1,150 @@
+package svm
+
+import (
+	"math/rand"
+	"testing"
+
+	"mouse/internal/dataset"
+)
+
+func TestTrainAdult(t *testing.T) {
+	ds := dataset.Adult(11, 400, 150)
+	m, err := Train(ds, DefaultTrainConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumSV() == 0 {
+		t.Fatalf("no support vectors")
+	}
+	acc := Accuracy(m.Predict, ds.Test)
+	if acc < 0.70 {
+		t.Errorf("ADULT-syn accuracy %.2f below 0.70", acc)
+	}
+	t.Logf("ADULT-syn: %d SVs, accuracy %.3f", m.NumSV(), acc)
+}
+
+func TestTrainMultiClass(t *testing.T) {
+	ds := dataset.HAR(12, 25, 10)
+	m, err := Train(ds, DefaultTrainConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Machines) != 6 {
+		t.Fatalf("%d machines, want 6", len(m.Machines))
+	}
+	acc := Accuracy(m.Predict, ds.Test)
+	if acc < 0.60 {
+		t.Errorf("HAR-syn accuracy %.2f below 0.60", acc)
+	}
+	t.Logf("HAR-syn: %d SVs, accuracy %.3f", m.NumSV(), acc)
+}
+
+func TestTrainRejectsBadInput(t *testing.T) {
+	if _, err := Train(&dataset.Set{}, DefaultTrainConfig()); err == nil {
+		t.Errorf("empty set accepted")
+	}
+	ds := dataset.Adult(1, 10, 5)
+	if _, err := Train(ds, TrainConfig{C: 0, Passes: 5}); err == nil {
+		t.Errorf("zero C accepted")
+	}
+	if _, err := Train(ds, TrainConfig{C: 1, Passes: 0}); err == nil {
+		t.Errorf("zero passes accepted")
+	}
+}
+
+func TestQuantizeAgreesWithFloat(t *testing.T) {
+	ds := dataset.Adult(13, 300, 120)
+	m, err := Train(ds, DefaultTrainConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	im, err := m.Quantize(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if im.AccBits <= 0 || im.AccBits > 62 {
+		t.Fatalf("AccBits = %d", im.AccBits)
+	}
+	agree := 0
+	for _, s := range ds.Test {
+		if im.Predict(s.X) == m.Predict(s.X) {
+			agree++
+		}
+	}
+	rate := float64(agree) / float64(len(ds.Test))
+	if rate < 0.9 {
+		t.Errorf("fixed-point agreement %.2f below 0.9", rate)
+	}
+	if im.NumSV() != m.NumSV() {
+		t.Errorf("SV counts differ: %d vs %d", im.NumSV(), m.NumSV())
+	}
+}
+
+func TestQuantizeRejectsBadWidth(t *testing.T) {
+	ds := dataset.Adult(14, 40, 10)
+	m, err := Train(ds, DefaultTrainConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Quantize(1); err == nil {
+		t.Errorf("1-bit coefficients accepted")
+	}
+	if _, err := m.Quantize(64); err == nil {
+		t.Errorf("64-bit coefficients accepted")
+	}
+}
+
+// tinySet builds a 3-class set over few small-valued features, sized so
+// the compiled hardware program stays small.
+func tinySet(seed int64, features, perClass int) *dataset.Set {
+	rng := rand.New(rand.NewSource(seed))
+	s := &dataset.Set{Name: "tiny", NumFeatures: features, NumClasses: 3}
+	means := [][]int{}
+	for c := 0; c < 3; c++ {
+		mu := make([]int, features)
+		for j := range mu {
+			mu[j] = rng.Intn(12)
+		}
+		means = append(means, mu)
+	}
+	emit := func(n int) []dataset.Sample {
+		var out []dataset.Sample
+		for c := 0; c < 3; c++ {
+			for i := 0; i < n; i++ {
+				x := make([]int, features)
+				for j := range x {
+					v := means[c][j] + rng.Intn(5) - 2
+					if v < 0 {
+						v = 0
+					}
+					if v > 15 {
+						v = 15
+					}
+					x[j] = v
+				}
+				out = append(out, dataset.Sample{X: x, Label: c})
+			}
+		}
+		return out
+	}
+	s.Train = emit(perClass)
+	s.Test = emit(2)
+	return s
+}
+
+func TestScoreConsistency(t *testing.T) {
+	ds := tinySet(15, 6, 4)
+	m, err := Train(ds, DefaultTrainConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Predict must pick the argmax of Score.
+	for _, s := range ds.Test {
+		p := m.Predict(s.X)
+		for c := 0; c < m.Classes; c++ {
+			if m.Score(c, s.X) > m.Score(p, s.X) {
+				t.Fatalf("Predict did not return the argmax")
+			}
+		}
+	}
+}

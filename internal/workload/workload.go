@@ -1,0 +1,545 @@
+// Package workload builds the paper-scale benchmark workloads of Section
+// VIII as analytic instruction streams: the six MOUSE benchmarks of
+// Table IV (SVM on MNIST, binarized MNIST, HAR and ADULT; BNN in the
+// FINN and FP-BNN configurations) expressed as sequences of
+// (instruction kind, active-column count) events the intermittent
+// simulator executes. This mirrors the authors' in-house R simulator:
+// the full gate-level state of a 64 MB array is never materialized, but
+// the instruction counts come from the same compiler that produces the
+// bit-accurate small-scale programs — each arithmetic macro's cost is
+// measured by compiling it with package compile.
+//
+// The mapping model follows the paper's greedy, column-minimal
+// scheduling (Section VI): operands pack into as few columns as the row
+// budget allows, dot products and popcounts run in-column, and partial
+// results merge through row reads and writes. A parallelism budget caps
+// simultaneously active columns (Section IV-C: parallelism is tuned to
+// the power budget); work beyond the budget serializes into batches.
+package workload
+
+import (
+	"fmt"
+	"sync"
+
+	"mouse/internal/compile"
+	"mouse/internal/energy"
+	"mouse/internal/isa"
+	"mouse/internal/mtj"
+	"mouse/internal/sim"
+)
+
+// Kind distinguishes the two benchmark families.
+type Kind int
+
+const (
+	// SVM is a support-vector-machine benchmark.
+	SVM Kind = iota
+	// BNN is a binary-neural-network benchmark.
+	BNN
+)
+
+// Spec describes one paper-scale benchmark.
+type Spec struct {
+	Name string
+	Kind Kind
+
+	// Features is the input dimensionality; InputBits its width (8 or 1).
+	Features  int
+	InputBits int
+
+	// NumSV is the support-vector count (SVM; Table IV's #SV column).
+	NumSV int
+
+	// Classes is the output class count.
+	Classes int
+
+	// Hidden lists hidden layer widths (BNN).
+	Hidden []int
+
+	// MemBytes is the provisioned memory capacity (Table III).
+	MemBytes int64
+
+	// DataMB and InstrMB are the I/D memory columns of Table IV.
+	InstrMB, DataMB float64
+
+	// ParallelBudget caps simultaneously active columns. Zero selects
+	// the default (8192 columns ≈ 8 tiles fully active).
+	ParallelBudget int
+}
+
+// DefaultParallelBudget caps active columns so a single instruction's
+// energy stays well inside one buffer discharge even on modern MTJs.
+const DefaultParallelBudget = 8192
+
+// Benchmarks returns the six MOUSE benchmarks of Table IV with the
+// paper's model sizes.
+func Benchmarks() []Spec {
+	return []Spec{
+		{Name: "SVM MNIST", Kind: SVM, Features: 784, InputBits: 8, NumSV: 11813, Classes: 10,
+			MemBytes: 64 << 20, InstrMB: 4.5, DataMB: 30.0, ParallelBudget: 32768},
+		{Name: "SVM MNIST (Bin)", Kind: SVM, Features: 784, InputBits: 1, NumSV: 12214, Classes: 10,
+			MemBytes: 8 << 20, InstrMB: 1.25, DataMB: 6.0},
+		{Name: "SVM HAR", Kind: SVM, Features: 561, InputBits: 8, NumSV: 2809, Classes: 6,
+			MemBytes: 16 << 20, InstrMB: 2.25, DataMB: 10.0},
+		{Name: "SVM ADULT", Kind: SVM, Features: 15, InputBits: 8, NumSV: 1909, Classes: 2,
+			MemBytes: 1 << 20, InstrMB: 0.25, DataMB: 0.5},
+		{Name: "BNN FINN MNIST", Kind: BNN, Features: 784, InputBits: 1, Hidden: []int{1024, 1024, 1024}, Classes: 10,
+			MemBytes: 8 << 20, InstrMB: 3.15, DataMB: 1.71},
+		{Name: "BNN FPBNN MNIST", Kind: BNN, Features: 784, InputBits: 8, Hidden: []int{2048, 2048, 2048}, Classes: 10,
+			MemBytes: 16 << 20, InstrMB: 4.20, DataMB: 8.00, ParallelBudget: 32768},
+	}
+}
+
+// CustomSVM builds a Spec for a user-provided SVM deployment: features
+// and input width describe the data, numSV the total trained support
+// vectors, and memBytes the provisioned array (rounded up to a
+// power-of-two megabyte count as NVSim requires).
+func CustomSVM(name string, features, inputBits, numSV, classes int, memBytes int64) (Spec, error) {
+	s := Spec{
+		Name: name, Kind: SVM,
+		Features: features, InputBits: inputBits,
+		NumSV: numSV, Classes: classes,
+		MemBytes: fitMem(memBytes),
+	}
+	return s, s.Validate()
+}
+
+// CustomBNN builds a Spec for a user-provided BNN deployment.
+func CustomBNN(name string, features, inputBits int, hidden []int, classes int, memBytes int64) (Spec, error) {
+	s := Spec{
+		Name: name, Kind: BNN,
+		Features: features, InputBits: inputBits,
+		Hidden: append([]int(nil), hidden...), Classes: classes,
+		MemBytes: fitMem(memBytes),
+	}
+	return s, s.Validate()
+}
+
+func fitMem(bytes int64) int64 {
+	const mb = 1 << 20
+	if bytes < mb {
+		bytes = mb
+	}
+	fitted := int64(mb)
+	for fitted < bytes {
+		fitted <<= 1
+	}
+	return fitted
+}
+
+// Validate reports whether the spec describes a runnable workload.
+func (s Spec) Validate() error {
+	switch {
+	case s.Features <= 0:
+		return fmt.Errorf("workload: %s: feature count %d", s.Name, s.Features)
+	case s.InputBits != 1 && s.InputBits != 8:
+		return fmt.Errorf("workload: %s: input width %d must be 1 or 8", s.Name, s.InputBits)
+	case s.Classes <= 0:
+		return fmt.Errorf("workload: %s: class count %d", s.Name, s.Classes)
+	case s.MemBytes < 128<<10:
+		return fmt.Errorf("workload: %s: memory %d below one tile", s.Name, s.MemBytes)
+	case s.Kind == SVM && s.NumSV <= 0:
+		return fmt.Errorf("workload: %s: SVM needs support vectors", s.Name)
+	case s.Kind == BNN && len(s.Hidden) == 0:
+		return fmt.Errorf("workload: %s: BNN needs hidden layers", s.Name)
+	}
+	for _, h := range s.Hidden {
+		if h <= 0 {
+			return fmt.Errorf("workload: %s: hidden width %d", s.Name, h)
+		}
+	}
+	return nil
+}
+
+// ByName returns the benchmark with the given name.
+func ByName(name string) (Spec, error) {
+	for _, s := range Benchmarks() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("workload: unknown benchmark %q", name)
+}
+
+// Tiles returns the number of 128 KB tiles the benchmark provisions.
+func (s Spec) Tiles() int { return int(s.MemBytes / (128 << 10)) }
+
+func (s Spec) budget() int {
+	b := s.ParallelBudget
+	if b <= 0 {
+		b = DefaultParallelBudget
+	}
+	if avail := s.Tiles() * isa.Cols; b > avail {
+		b = avail
+	}
+	return b
+}
+
+// Phase is a run of identical operations.
+type Phase struct {
+	Name  string
+	Op    energy.Op
+	Count int64
+}
+
+// Phases returns the benchmark's full execution recipe.
+func (s Spec) Phases() []Phase {
+	switch s.Kind {
+	case SVM:
+		return svmPhases(s)
+	case BNN:
+		return bnnPhases(s)
+	}
+	panic(fmt.Sprintf("workload: unknown kind %d", s.Kind))
+}
+
+// Instructions returns the total instruction count of one inference.
+func (s Spec) Instructions() int64 {
+	var n int64
+	for _, p := range s.Phases() {
+		n += p.Count
+	}
+	return n
+}
+
+// Stream returns an OpStream expanding the phases lazily.
+func (s Spec) Stream() sim.OpStream {
+	return &phaseStream{phases: s.Phases()}
+}
+
+type phaseStream struct {
+	phases []Phase
+	idx    int
+	done   int64
+}
+
+func (p *phaseStream) Reset() { p.idx, p.done = 0, 0 }
+
+func (p *phaseStream) Next() (energy.Op, bool) {
+	for p.idx < len(p.phases) {
+		ph := &p.phases[p.idx]
+		if p.done < ph.Count {
+			p.done++
+			return ph.Op, true
+		}
+		p.idx++
+		p.done = 0
+	}
+	return energy.Op{}, false
+}
+
+// --- per-benchmark phase construction -----------------------------------
+
+// logic and preset op constructors.
+func gateOps(name string, gate mtj.GateKind, gates int64, pairs int) []Phase {
+	if gates <= 0 {
+		return nil
+	}
+	return []Phase{
+		{Name: name + " preset", Op: energy.Op{Kind: isa.KindPreset, ActivePairs: pairs}, Count: gates},
+		{Name: name + " gate", Op: energy.Op{Kind: isa.KindLogic, Gate: gate, ActivePairs: pairs}, Count: gates},
+	}
+}
+
+func actOp(name string, cols int) Phase {
+	return Phase{Name: name, Op: energy.Op{Kind: isa.KindAct, ActCols: cols}, Count: 1}
+}
+
+func rwOps(name string, reads, writes int64) []Phase {
+	var out []Phase
+	if reads > 0 {
+		out = append(out, Phase{Name: name + " read", Op: energy.Op{Kind: isa.KindRead}, Count: reads})
+	}
+	if writes > 0 {
+		out = append(out, Phase{Name: name + " write", Op: energy.Op{Kind: isa.KindWrite}, Count: writes})
+	}
+	return out
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+func log2Ceil(n int) int {
+	b := 0
+	for v := 1; v < n; v <<= 1 {
+		b++
+	}
+	return b
+}
+
+// svmPhases models one SVM inference: per-support-vector dot products in
+// packed columns, squaring, coefficient multiply-accumulate, and class
+// summation, batched under the parallelism budget.
+func svmPhases(s Spec) []Phase {
+	dotBits := 2*s.InputBits + log2Ceil(s.Features) // dot product width
+	accBits := 40                                   // signed score accumulator
+
+	// Column packing under the 1024-row budget (greedy column-minimal).
+	var perElem, scratch int
+	if s.InputBits == 1 {
+		perElem = 2          // input bit + SV bit
+		scratch = 2*248 + 64 // tree popcount scratch for ≤248 elements
+	} else {
+		perElem = 2 * s.InputBits
+		scratch = 12*s.InputBits + 2*dotBits + 64 // multiplier + accumulator
+	}
+	elemsPerCol := (isa.Rows - scratch) / perElem
+	if elemsPerCol < 1 {
+		elemsPerCol = 1
+	}
+	if elemsPerCol > s.Features {
+		elemsPerCol = s.Features
+	}
+	colsPerSV := ceilDiv(s.Features, elemsPerCol)
+	totalCols := s.NumSV * colsPerSV
+	budget := s.budget()
+	batches := ceilDiv(totalCols, budget)
+	colsPerBatch := ceilDiv(totalCols, batches)
+
+	var phases []Phase
+	// Input transfer from the sensor buffer, replicated per SV group.
+	inputRows := ceilDiv(s.Features*s.InputBits, isa.Cols)
+	replicaRows := int64(ceilDiv(s.Features*s.InputBits*s.NumSV, isa.Cols))
+	phases = append(phases, rwOps("input load", int64(inputRows), replicaRows)...)
+
+	// Per-column in-place work, repeated per batch.
+	var macGates int64
+	if s.InputBits == 1 {
+		// AND multiply + tree popcount of the column's elements.
+		macGates = int64(elemsPerCol) + int64(costPopTree(elemsPerCol))
+	} else {
+		macGates = int64(elemsPerCol) * int64(costMAC(s.InputBits, dotBits))
+	}
+	// Partial-sum merge across the SV's columns: log2 levels of row
+	// moves plus in-column adds.
+	mergeLevels := log2Ceil(colsPerSV)
+	mergeGates := int64(mergeLevels) * int64(costAdd(dotBits))
+	// Square and coefficient MAC, one column per SV.
+	sqGates := int64(costSquare(dotBits))
+	coeffGates := int64(costMulFixed(accBits, 20) + costAddFixed(accBits))
+
+	for b := 0; b < batches; b++ {
+		phases = append(phases, actOp("activate batch", colsPerBatch))
+		phases = append(phases, gateOps("dot", mtj.NAND2, macGates, colsPerBatch)...)
+		if mergeLevels > 0 {
+			moveRows := int64(dotBits * ceilDiv(colsPerBatch, isa.Cols))
+			phases = append(phases, rwOps("merge", moveRows*int64(mergeLevels), moveRows*int64(mergeLevels))...)
+			phases = append(phases, gateOps("merge add", mtj.MAJ3, mergeGates, colsPerBatch/2)...)
+		}
+		svCols := ceilDiv(colsPerBatch, colsPerSV)
+		phases = append(phases, gateOps("square", mtj.NAND2, sqGates, svCols)...)
+		phases = append(phases, gateOps("coeff mac", mtj.MAJ3, coeffGates, svCols)...)
+	}
+
+	// Class summation: tree-sum the per-SV scores down to one score per
+	// class.
+	sumLevels := log2Ceil(ceilDiv(s.NumSV, s.Classes))
+	active := s.NumSV
+	for l := 0; l < sumLevels; l++ {
+		moveRows := int64(accBits * ceilDiv(active, isa.Cols))
+		phases = append(phases, rwOps("class sum", moveRows, moveRows)...)
+		phases = append(phases, gateOps("class add", mtj.MAJ3, int64(costAdd(accBits)), active/2)...)
+		active = ceilDiv(active, 2)
+	}
+	// Result read-out.
+	phases = append(phases, rwOps("readout", int64(ceilDiv(s.Classes*accBits, isa.Cols)+1), 0)...)
+	return compactPhases(phases)
+}
+
+// bnnPhases models one BNN inference: per-layer XNOR + popcount +
+// threshold with neurons spread across columns, activations
+// redistributed between layers through the row buffer.
+func bnnPhases(s Spec) []Phase {
+	budget := s.budget()
+	widths := append([]int{s.Features}, s.Hidden...)
+	widths = append(widths, s.Classes)
+
+	var phases []Phase
+	// Input transfer, replicated into the first layer's neuron columns.
+	inputRows := ceilDiv(s.Features*s.InputBits, isa.Cols)
+	phases = append(phases, rwOps("input load", int64(inputRows), int64(inputRows*widths[1]/isa.Cols+1))...)
+
+	for l := 0; l+1 < len(widths); l++ {
+		nIn, nOut := widths[l], widths[l+1]
+		first := l == 0 && s.InputBits == 8
+		last := l+2 == len(widths)
+
+		// Pack each neuron into as few columns as the row budget allows.
+		var perElem, scratch int
+		if first {
+			perElem = s.InputBits   // activations only; weights fold into the program
+			scratch = 2*(16+8) + 64 // 16-bit signed accumulator + adder scratch
+		} else {
+			perElem = 1
+			scratch = 2*248 + 64
+		}
+		elemsPerCol := (isa.Rows - scratch) / perElem
+		if elemsPerCol < 1 {
+			elemsPerCol = 1
+		}
+		if elemsPerCol > nIn {
+			elemsPerCol = nIn
+		}
+		colsPerNeuron := ceilDiv(nIn, elemsPerCol)
+		totalCols := nOut * colsPerNeuron
+		batches := ceilDiv(totalCols, budget)
+		colsPerBatch := ceilDiv(totalCols, batches)
+
+		var neuronGates int64
+		if first {
+			// ±8-bit add/sub per element into a 16-bit accumulator.
+			neuronGates = int64(elemsPerCol) * int64(costAddFixed(16))
+		} else {
+			// Constant-folded XNOR (≈ one gate per element) + tree
+			// popcount.
+			neuronGates = int64(elemsPerCol) + int64(costPopTree(elemsPerCol))
+		}
+		mergeLevels := log2Ceil(colsPerNeuron)
+		popBits := log2Ceil(nIn) + 2
+		mergeGates := int64(mergeLevels) * int64(costAdd(popBits))
+		thresholdGates := int64(costAdd(popBits) + popBits) // compare = subtract + sign
+
+		for b := 0; b < batches; b++ {
+			phases = append(phases, actOp("activate layer batch", colsPerBatch))
+			phases = append(phases, gateOps("neuron", mtj.NAND2, neuronGates, colsPerBatch)...)
+			if mergeLevels > 0 {
+				moveRows := int64(popBits * ceilDiv(colsPerBatch, isa.Cols))
+				phases = append(phases, rwOps("merge", moveRows*int64(mergeLevels), moveRows*int64(mergeLevels))...)
+				phases = append(phases, gateOps("merge add", mtj.MAJ3, mergeGates, colsPerBatch/2)...)
+			}
+			if !last {
+				neurons := ceilDiv(colsPerBatch, colsPerNeuron)
+				phases = append(phases, gateOps("threshold", mtj.MAJ3, thresholdGates, neurons)...)
+			}
+		}
+		if !last {
+			// Redistribute the nOut activation bits into the next
+			// layer's neuron columns.
+			bits := nOut * widths[l+2]
+			phases = append(phases, rwOps("activations", int64(ceilDiv(nOut, isa.Cols)), int64(ceilDiv(bits, isa.Cols)))...)
+		}
+	}
+	phases = append(phases, rwOps("readout", 1, 0)...)
+	return compactPhases(phases)
+}
+
+// compactPhases drops empty phases.
+func compactPhases(in []Phase) []Phase {
+	out := in[:0]
+	for _, p := range in {
+		if p.Count > 0 {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// --- macro costs, measured from the compiler -----------------------------
+
+// probe builds a fragment with the real compiler and returns its gate
+// count (each gate is one preset plus one logic instruction).
+func probe(f func(b *compile.Builder)) int {
+	b := compile.NewBuilder(isa.Rows)
+	b.ActivateBroadcast([]uint16{0})
+	f(b)
+	if b.Err() != nil {
+		panic(fmt.Sprintf("workload: probe failed: %v", b.Err()))
+	}
+	return b.GateCount()
+}
+
+var (
+	costMu    sync.Mutex
+	costCache = map[string]int{}
+)
+
+func cached(key string, f func() int) int {
+	costMu.Lock()
+	defer costMu.Unlock()
+	if v, ok := costCache[key]; ok {
+		return v
+	}
+	v := f()
+	costCache[key] = v
+	return v
+}
+
+// costMAC is one multiply-accumulate: bits×bits multiply plus the
+// running-sum add into an accBits accumulator.
+func costMAC(bits, accBits int) int {
+	return cached(fmt.Sprintf("mac%d-%d", bits, accBits), func() int {
+		return probe(func(b *compile.Builder) {
+			x := b.AllocWord(bits, 0)
+			y := b.AllocWord(bits, 0)
+			acc := b.AllocWord(accBits, 1)
+			p := b.MulWords(x, y)
+			b.AddFixed(acc, p, false)
+		})
+	})
+}
+
+// costAdd is a ripple add at the given width.
+func costAdd(w int) int {
+	return cached(fmt.Sprintf("add%d", w), func() int {
+		return probe(func(b *compile.Builder) {
+			x := b.AllocWord(w, 0)
+			y := b.AllocWord(w, 0)
+			b.AddWords(x, y)
+		})
+	})
+}
+
+// costAddFixed is a fixed-width add/subtract at width w.
+func costAddFixed(w int) int {
+	return cached(fmt.Sprintf("addf%d", w), func() int {
+		return probe(func(b *compile.Builder) {
+			x := b.AllocWord(w, 0)
+			y := b.AllocWord(w, 0)
+			b.AddFixed(x, y, true)
+		})
+	})
+}
+
+// costSquare squares a w-bit word.
+func costSquare(w int) int {
+	return cached(fmt.Sprintf("sq%d", w), func() int {
+		return probe(func(b *compile.Builder) {
+			x := b.AllocWord(w, 0)
+			b.Square(x)
+		})
+	})
+}
+
+// costMulFixed multiplies a signed a-bit value by an unsigned b-bit one.
+func costMulFixed(a, bBits int) int {
+	return cached(fmt.Sprintf("mulf%d-%d", a, bBits), func() int {
+		return probe(func(b *compile.Builder) {
+			x := b.AllocWord(a, 0)
+			y := b.AllocWord(bBits, 0)
+			b.MulFixed(x, y)
+		})
+	})
+}
+
+// costPopTree is a tree popcount over n bits. Large n extrapolates
+// linearly from a measured point (the tree cost is linear in n), since a
+// probe beyond a few hundred bits exceeds the 1024-row scratch space.
+func costPopTree(n int) int {
+	return cached(fmt.Sprintf("pop%d", n), func() int {
+		const probeMax = 192
+		measure := func(k int) int {
+			return probe(func(b *compile.Builder) {
+				bits := make([]compile.Bit, k)
+				for i := range bits {
+					bits[i] = b.Alloc(i & 1)
+				}
+				b.PopCount(bits)
+			})
+		}
+		if n <= probeMax {
+			return measure(n)
+		}
+		lo, hi := measure(probeMax/2), measure(probeMax)
+		slope := float64(hi-lo) / float64(probeMax/2)
+		return hi + int(slope*float64(n-probeMax))
+	})
+}
