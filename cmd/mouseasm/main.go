@@ -4,6 +4,7 @@
 // Usage:
 //
 //	mouseasm -o prog.img prog.s      assemble
+//	mouseasm -vet -o prog.img prog.s assemble, refusing on lint errors
 //	mouseasm -d prog.img             disassemble to stdout
 //	mouseasm -stats prog.img         print instruction statistics
 //
@@ -19,12 +20,14 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 
 	"mouse/internal/isa"
+	"mouse/internal/lint"
 )
 
 func main() {
@@ -40,6 +43,7 @@ func run(args []string, stdout io.Writer) error {
 	out := fs.String("o", "", "output image path (assemble mode)")
 	disasm := fs.Bool("d", false, "disassemble an image to stdout")
 	stats := fs.Bool("stats", false, "print instruction statistics for an image")
+	vet := fs.Bool("vet", false, "lint the program; refuse to emit an image with error-severity findings")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -78,9 +82,24 @@ func run(args []string, stdout io.Writer) error {
 		return err
 	}
 	defer src.Close()
-	prog, err := isa.Parse(src)
+	prog, lines, err := isa.ParseLines(src)
 	if err != nil {
+		var pe *isa.ParseError
+		if errors.As(err, &pe) {
+			return fmt.Errorf("%s:%d: %v", path, pe.Line, pe.Err)
+		}
 		return err
+	}
+	if *vet {
+		rep := lint.Lint(prog, lint.Options{LineMap: lines})
+		for _, d := range rep.Diagnostics {
+			if d.Severity != lint.Info {
+				fmt.Fprintf(stdout, "%s:%d: %s: %s [%s]\n", path, d.Line, d.Severity, d.Message, d.Rule)
+			}
+		}
+		if rep.HasErrors() {
+			return fmt.Errorf("vet: %d error(s); image not written", rep.Count(lint.Error))
+		}
 	}
 	if *out == "" {
 		return fmt.Errorf("assemble mode needs -o")

@@ -65,3 +65,51 @@ func TestRunErrors(t *testing.T) {
 		t.Errorf("bad assembly accepted")
 	}
 }
+
+// Syntax errors identify the offending statement as file:line.
+func TestParseErrorReportsLine(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.s")
+	src := "# comment\nACT * R 0 4 1\n\nFROB 1 2\n"
+	if err := os.WriteFile(bad, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	err := run([]string{"-o", filepath.Join(dir, "x.img"), bad}, &out)
+	if err == nil || !strings.Contains(err.Error(), bad+":4:") {
+		t.Errorf("want error naming %s:4:, got %v", bad, err)
+	}
+}
+
+func TestVetFlag(t *testing.T) {
+	dir := t.TempDir()
+
+	// A program with a lint error: the gate output row is never preset.
+	bad := filepath.Join(dir, "bad.s")
+	src := "ACT * R 0 4 1\nNAND2 0 2 1\n"
+	if err := os.WriteFile(bad, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	img := filepath.Join(dir, "bad.img")
+	var out bytes.Buffer
+	err := run([]string{"-vet", "-o", img, bad}, &out)
+	if err == nil || !strings.Contains(err.Error(), "image not written") {
+		t.Fatalf("vet should refuse the image, got err=%v", err)
+	}
+	if !strings.Contains(out.String(), bad+":2: error:") {
+		t.Errorf("vet diagnostics should be line-mapped, got:\n%s", out.String())
+	}
+	if _, statErr := os.Stat(img); !os.IsNotExist(statErr) {
+		t.Errorf("image %s was written despite vet errors", img)
+	}
+
+	// The clean demonstration program still assembles under -vet.
+	out.Reset()
+	good := filepath.Join(dir, "good.img")
+	if err := run([]string{"-vet", "-o", good, "testdata/pair_nand.s"}, &out); err != nil {
+		t.Fatalf("vet rejected a clean program: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "wrote 7 instructions") {
+		t.Errorf("assemble output: %q", out.String())
+	}
+}

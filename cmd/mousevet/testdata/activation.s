@@ -1,0 +1,8 @@
+# Activation discipline: a preset before any ACT touches nothing, and
+# an ACT replaced before use configured nothing (ACT replaces, it does
+# not accumulate).
+PRE0 1            ; no live activation yet
+ACT * C 0 1
+ACT * R 0 4 1     ; replaces the ACT above before anything used it
+PRE0 3
+NAND2 0 2 3

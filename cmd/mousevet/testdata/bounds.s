@@ -1,0 +1,5 @@
+# Geometry bounds violations; lint with -tiles 2 -rows 16 -cols 8.
+ACT T0 C 9        ; column 9 beyond an 8-column machine
+RD 5 3            ; tile 5 beyond a 2-tile machine
+PRE0 20           ; row 20 beyond a 16-row machine
+WR 0 1 12         ; rotation 12 wraps at 8 columns

@@ -1,0 +1,9 @@
+# A well-formed program: activation first, every gate output preset
+# with the polarity its gate requires, the buffer loaded before stored.
+ACT * R 0 4 1     ; activate columns 0..3 everywhere
+PRE0 1            ; NAND preset
+NAND2 0 2 1
+PRE0 4            ; NOT preset
+NOT 1 4
+RD 0 4            ; move the result row to tile 1
+WR 1 5 1

@@ -1,0 +1,8 @@
+# Dead writes: a preset and a buffer load overwritten before use.
+ACT * R 0 4 1
+PRE1 1            ; overwritten by the PRE0 below, never read
+PRE0 1
+NAND2 0 2 1
+RD 0 1            ; buffer discarded by the next read
+RD 0 3
+WR 1 5

@@ -1,0 +1,8 @@
+# Define-before-use violations: the buffer is stored before any read
+# loads it, a gate fires on an un-preset output row, and another gets
+# the wrong preset polarity.
+ACT * R 0 4 1
+WR 0 3            ; buffer never loaded
+NAND2 0 2 1       ; output row 1 never preset
+PRE1 4            ; NOT needs PRE0
+NOT 1 4

@@ -1,0 +1,5 @@
+# Replay safety: the read-modify-write of tile 0 row 0 is the canonical
+# WAR hazard when both halves share one checkpoint region; lint with
+# -interval 2. With MOUSE's per-instruction checkpointing it is safe.
+RD 0 0
+WR 0 0

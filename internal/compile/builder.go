@@ -87,14 +87,27 @@ func (b *Builder) fail(format string, args ...any) {
 	}
 }
 
+// ProgramCheck, when non-nil, is applied to every program Program()
+// would return successfully; a non-nil result becomes the compile
+// error. The compile test suite installs the lint package's verifier
+// here so every compiler-emitted program is statically self-checked
+// (the package itself stays free of the dependency).
+var ProgramCheck func(isa.Program) error
+
 // Program returns the compiled program. It returns the builder's error,
-// if any, and validates the result.
+// if any, and validates (and, when a ProgramCheck is installed,
+// self-checks) the result.
 func (b *Builder) Program() (isa.Program, error) {
 	if b.err != nil {
 		return nil, b.err
 	}
 	if err := b.prog.Validate(); err != nil {
 		return nil, err
+	}
+	if ProgramCheck != nil {
+		if err := ProgramCheck(b.prog); err != nil {
+			return nil, fmt.Errorf("compile: self-check: %w", err)
+		}
 	}
 	return b.prog, nil
 }

@@ -1,0 +1,53 @@
+package compile
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"mouse/internal/isa"
+	"mouse/internal/lint"
+)
+
+// TestMain installs the lint self-check for the whole suite: every
+// program the builder successfully compiles in any of these tests —
+// the arithmetic macros, the random expression DAGs, the examples —
+// must come out free of error-severity findings (un-preset gate
+// outputs, dead computes, undefined buffer stores). This is the
+// compiler-side enforcement of the paper's mapping discipline.
+func TestMain(m *testing.M) {
+	ProgramCheck = func(p isa.Program) error {
+		return lint.Lint(p, lint.Options{}).Err()
+	}
+	os.Exit(m.Run())
+}
+
+func TestProgramCheckRejects(t *testing.T) {
+	// A builder-constructed program that skips activation: the self-check
+	// must turn the lint error into a compile error.
+	saved := ProgramCheck
+	defer func() { ProgramCheck = saved }()
+	ProgramCheck = func(p isa.Program) error {
+		return lint.Lint(p, lint.Options{}).Err()
+	}
+
+	b := NewBuilder(testRows)
+	x := b.Reserve(0)
+	y := b.Reserve(2)
+	b.NAND(x, y) // preset + gate with no ACT anywhere
+	if _, err := b.Program(); err == nil {
+		t.Fatal("un-activated program passed the self-check")
+	} else if !strings.Contains(err.Error(), "self-check") {
+		t.Fatalf("error does not come from the self-check: %v", err)
+	}
+
+	// The same circuit with activation compiles cleanly.
+	b = NewBuilder(testRows)
+	activateAll(b)
+	x = b.Reserve(0)
+	y = b.Reserve(2)
+	b.NAND(x, y)
+	if _, err := b.Program(); err != nil {
+		t.Fatalf("activated program rejected: %v", err)
+	}
+}

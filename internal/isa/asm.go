@@ -157,9 +157,32 @@ func ParseLine(line string) (in Instruction, ok bool, err error) {
 	return in, true, nil
 }
 
-// Parse assembles a whole program from r.
+// ParseError locates an assembly error on its 1-based source line, so
+// front ends can prefix the file name (file.s:17: ...).
+type ParseError struct {
+	Line int
+	Err  error
+}
+
+func (e *ParseError) Error() string { return fmt.Sprintf("line %d: %v", e.Line, e.Err) }
+
+func (e *ParseError) Unwrap() error { return e.Err }
+
+// Parse assembles a whole program from r. Syntax errors are reported as
+// a *ParseError carrying the source line.
 func Parse(r io.Reader) (Program, error) {
-	var p Program
+	p, _, err := ParseLines(r)
+	return p, err
+}
+
+// ParseLines assembles a whole program from r, also returning the
+// 1-based source line of each instruction — the map that lets analysis
+// diagnostics point back at the assembly text.
+func ParseLines(r io.Reader) (Program, []int, error) {
+	var (
+		p     Program
+		lines []int
+	)
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
 	lineNo := 0
@@ -167,16 +190,17 @@ func Parse(r io.Reader) (Program, error) {
 		lineNo++
 		in, ok, err := ParseLine(sc.Text())
 		if err != nil {
-			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+			return nil, nil, &ParseError{Line: lineNo, Err: err}
 		}
 		if ok {
 			p = append(p, in)
+			lines = append(lines, lineNo)
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return p, nil
+	return p, lines, nil
 }
 
 // ParseString assembles a program from source text.

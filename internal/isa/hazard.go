@@ -37,13 +37,31 @@ func (h Hazard) String() string {
 	return fmt.Sprintf("instruction %d reads %s; instruction %d overwrites it", h.ReadAt, loc, h.WriteAt)
 }
 
+// Location conventions for the Effects model: broadcast operations use
+// tile = LocAnyTile (they touch every data tile); the memory buffer is
+// tile = LocBuffer, row 0.
+const (
+	LocAnyTile = -1
+	LocBuffer  = -2
+)
+
+// Effects lists the (tile, row) locations an instruction reads and
+// writes, in the LocAnyTile/LocBuffer convention. This is the shared
+// dataflow model behind the WAR-hazard analysis and the lint package's
+// def-before-use and dead-write rules. Note that a logic gate reads its
+// output row as well as its inputs: threshold switching depends on the
+// preset state.
+func (in *Instruction) Effects() (reads, writes [][2]int) {
+	return rw(in)
+}
+
 // rw lists the rows an instruction reads and writes. Broadcast
 // operations use tile = -1 (they conflict with every tile). The memory
 // buffer is modelled as tile = -2, row = 0.
 func rw(in *Instruction) (reads, writes [][2]int) {
 	const (
-		anyTile = -1
-		buffer  = -2
+		anyTile = LocAnyTile
+		buffer  = LocBuffer
 	)
 	switch in.Kind {
 	case KindRead:

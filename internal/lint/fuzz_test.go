@@ -1,0 +1,84 @@
+package lint
+
+import (
+	"encoding/binary"
+	"reflect"
+	"testing"
+
+	"mouse/internal/isa"
+	"mouse/internal/mtj"
+)
+
+// FuzzLintProgram feeds arbitrary instruction streams to the linter
+// (mirroring internal/isa's FuzzDecode): it must never panic and must be
+// deterministic, whatever mix of valid, invalid, and garbage
+// instructions the stream contains. Each 9-byte chunk of input yields
+// one instruction: a selector byte picks between the decoder (valid or
+// rejected words) and a raw, unvalidated struct whose fields come
+// straight from the fuzz data — the latter exercises the Valid-mask
+// paths that keep semantic rules away from uninterpretable fields.
+func FuzzLintProgram(f *testing.F) {
+	seed := func(p isa.Program) []byte {
+		var b []byte
+		for i := range p {
+			w, err := isa.Encode(p[i])
+			if err != nil {
+				f.Fatal(err)
+			}
+			b = append(b, 0)
+			b = binary.BigEndian.AppendUint64(b, w)
+		}
+		return b
+	}
+	f.Add(seed(isa.Program{
+		isa.ActRange(true, 0, 0, 4, 1),
+		isa.Preset(1, mtj.P),
+		isa.Logic(mtj.NAND2, []int{0, 2}, 1),
+		isa.Read(0, 1),
+		isa.Write(1, 3),
+	}))
+	f.Add(seed(isa.Program{isa.Write(0, 0), isa.Preset(5, mtj.AP)}))
+	f.Add([]byte{0xFF, 1, 2, 3, 4, 5, 6, 7, 8, 0xFF})
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var prog isa.Program
+		for len(data) >= 9 {
+			sel, word := data[0], binary.BigEndian.Uint64(data[1:9])
+			data = data[9:]
+			if sel%2 == 0 {
+				in, err := isa.Decode(word)
+				if err != nil {
+					continue
+				}
+				prog = append(prog, in)
+				continue
+			}
+			// Raw construction: every field from the word, unvalidated.
+			prog = append(prog, isa.Instruction{
+				Kind:   isa.Kind(sel >> 1 & 7),
+				Gate:   mtj.GateKind(word),
+				In:     [3]uint16{uint16(word), uint16(word >> 16), uint16(word >> 32)},
+				Out:    uint16(word >> 48),
+				Tile:   uint16(word >> 3),
+				Row:    uint16(word >> 13),
+				Rot:    uint16(word >> 23),
+				Value:  mtj.State(word >> 33 & 3),
+				Ranged: sel&4 != 0,
+				Start:  uint16(word >> 35),
+				Count:  uint16(word >> 45),
+				Stride: uint16(word >> 55),
+			})
+		}
+		for _, opts := range []Options{
+			{},
+			{Geometry: Geometry{Tiles: 2, Rows: 64, Cols: 16}, CheckpointInterval: 3},
+		} {
+			r1 := Lint(prog, opts)
+			r2 := Lint(prog, opts)
+			if !reflect.DeepEqual(r1, r2) {
+				t.Fatalf("lint is non-deterministic:\n%+v\nvs\n%+v", r1, r2)
+			}
+		}
+	})
+}

@@ -1,0 +1,336 @@
+package lint
+
+import (
+	"mouse/internal/energy"
+	"mouse/internal/isa"
+	"mouse/internal/mtj"
+	"mouse/internal/sim"
+)
+
+// The built-in rule suite. Each rule is independent: it walks the
+// program itself, keeps its own state, and reports through the pass.
+// The paper sections each rule enforces are catalogued in DESIGN.md.
+func init() {
+	Register(Rule{ID: "bounds", Doc: "tile/row/column references fit the deployed array geometry", Check: checkBounds})
+	Register(Rule{ID: "def-use", Doc: "values are defined before use: buffer read before written, gate outputs preset", Check: checkDefUse})
+	Register(Rule{ID: "dead-write", Doc: "no value is overwritten before anything reads it", Check: checkDeadWrite})
+	Register(Rule{ID: "activation", Doc: "column activations exist, are non-empty, and are used before replaced", Check: checkActivation})
+	Register(Rule{ID: "replay", Doc: "checkpoint regions are WAR-hazard-free and safe to replay", Check: checkReplay})
+	Register(Rule{ID: "energy", Doc: "every instruction fits one capacitor discharge window", Check: checkEnergy})
+}
+
+// checkBounds validates addresses against the deployed geometry. The
+// ISA validator bounds them to the 512×1024×1024 address space; a real
+// machine is smaller, and a reference beyond it either errors out or
+// silently reads nothing at inference time.
+func checkBounds(p *Pass) {
+	g := p.Opts.Geometry
+	for i := range p.Prog {
+		if !p.Valid[i] {
+			continue
+		}
+		in := &p.Prog[i]
+		badRow := func(row uint16, what string) {
+			if int(row) >= g.Rows {
+				p.Report("bounds", i, Error, "%s row %d is beyond the %d-row geometry", what, row, g.Rows)
+			}
+		}
+		switch in.Kind {
+		case isa.KindRead, isa.KindWrite:
+			if int(in.Tile) >= g.Tiles {
+				p.Report("bounds", i, Error, "tile %d is beyond the %d-tile geometry", in.Tile, g.Tiles)
+			}
+			badRow(in.Row, in.Kind.String())
+			if in.Kind == isa.KindWrite && in.Rot != 0 && int(in.Rot) >= g.Cols {
+				p.Report("bounds", i, Warning, "rotation %d wraps at the %d-column machine width", in.Rot, g.Cols)
+			}
+		case isa.KindPreset:
+			badRow(in.Row, "preset")
+		case isa.KindLogic:
+			for k := 0; k < in.NumInputs(); k++ {
+				badRow(in.In[k], "input")
+			}
+			badRow(in.Out, "output")
+		case isa.KindAct:
+			if !in.Broadcast && int(in.Tile) >= g.Tiles {
+				p.Report("bounds", i, Error, "tile %d is beyond the %d-tile geometry", in.Tile, g.Tiles)
+			}
+			if in.Ranged {
+				if int(in.Start) >= g.Cols {
+					p.Report("bounds", i, Error, "start column %d is beyond the %d-column geometry", in.Start, g.Cols)
+				}
+			} else {
+				for _, c := range in.Cols {
+					if int(c) >= g.Cols {
+						p.Report("bounds", i, Error, "column %d is beyond the %d-column geometry", c, g.Cols)
+					}
+				}
+			}
+		}
+	}
+}
+
+// rowDef records the most recent broadcast definition of a row: a
+// preset (with its value) or a gate output.
+type rowDef struct {
+	preset bool
+	value  mtj.State
+	epoch  int // activation epoch when the def landed
+}
+
+// checkDefUse enforces the define-before-use discipline of Sections II-B
+// and VI: a gate's output row must hold the gate's preset state when the
+// gate fires (threshold switching is conditional on it), the memory
+// buffer must be loaded by a read before a write stores it, and reads of
+// rows no instruction wrote are surfaced as infos (they are usually
+// intentional preloaded operands, but a typo'd row number looks exactly
+// the same).
+func checkDefUse(p *Pass) {
+	bufDefined := false
+	rowDefs := make(map[int]rowDef)     // broadcast defs: presets and gate outputs
+	tileDefs := make(map[[2]int]bool)   // buffer writes to a specific (tile, row)
+	reportedUndef := make(map[int]bool) // one preloaded-operand info per row
+	epoch := 0
+
+	undefInfo := func(i, row int, what string) {
+		if reportedUndef[row] {
+			return
+		}
+		reportedUndef[row] = true
+		p.Report("def-use", i, Info, "%s row %d was never written by this program (preloaded operand?)", what, row)
+	}
+
+	for i := range p.Prog {
+		if !p.Valid[i] {
+			continue
+		}
+		in := &p.Prog[i]
+		switch in.Kind {
+		case isa.KindAct:
+			epoch++
+		case isa.KindRead:
+			if _, ok := rowDefs[int(in.Row)]; !ok && !tileDefs[[2]int{int(in.Tile), int(in.Row)}] {
+				undefInfo(i, int(in.Row), "read")
+			}
+			bufDefined = true
+		case isa.KindWrite:
+			if !bufDefined {
+				p.Report("def-use", i, Error, "writes the memory buffer to tile %d row %d before any read loads the buffer", in.Tile, in.Row)
+			}
+			tileDefs[[2]int{int(in.Tile), int(in.Row)}] = true
+		case isa.KindPreset:
+			rowDefs[int(in.Row)] = rowDef{preset: true, value: in.Value, epoch: epoch}
+		case isa.KindLogic:
+			spec := mtj.Spec(in.Gate)
+			for k := 0; k < spec.Inputs; k++ {
+				r := int(in.In[k])
+				if _, ok := rowDefs[r]; !ok {
+					defined := false
+					for loc := range tileDefs {
+						if loc[1] == r {
+							defined = true
+							break
+						}
+					}
+					if !defined {
+						undefInfo(i, r, "input")
+					}
+				}
+			}
+			out := int(in.Out)
+			switch d, ok := rowDefs[out]; {
+			case !ok:
+				p.Report("def-use", i, Error, "output row %d is not preset before %s fires (gate switching depends on the preset state)", out, in.Gate)
+			case !d.preset:
+				p.Report("def-use", i, Error, "output row %d still holds a previous gate result when %s fires; preset it first", out, in.Gate)
+			case d.value != spec.Preset:
+				p.Report("def-use", i, Error, "output row %d is preset with PRE%d but %s requires PRE%d", out, d.value.Bit(), in.Gate, spec.Preset.Bit())
+			case d.epoch != epoch:
+				p.Report("def-use", i, Warning, "activation changed between the preset of row %d and %s; newly active columns are not preset", out, in.Gate)
+			}
+			rowDefs[out] = rowDef{preset: false, epoch: epoch}
+		}
+	}
+}
+
+// locOverlap reports whether two Effects locations can alias
+// (mirroring the hazard analysis's model).
+func locOverlap(a, b [2]int) bool {
+	if a[0] == isa.LocBuffer || b[0] == isa.LocBuffer {
+		return a[0] == b[0]
+	}
+	if a[1] != b[1] {
+		return false
+	}
+	return a[0] == isa.LocAnyTile || b[0] == isa.LocAnyTile || a[0] == b[0]
+}
+
+// locCovers reports whether a later write w2 definitely replaces
+// everything an earlier write w1 stored.
+func locCovers(w2, w1 [2]int) bool {
+	if w1[0] == isa.LocBuffer || w2[0] == isa.LocBuffer {
+		return w1[0] == w2[0]
+	}
+	if w1[1] != w2[1] {
+		return false
+	}
+	if w1[0] == isa.LocAnyTile {
+		return w2[0] == isa.LocAnyTile
+	}
+	return w2[0] == isa.LocAnyTile || w2[0] == w1[0]
+}
+
+// checkDeadWrite finds values overwritten before any instruction reads
+// them — wasted energy and wasted discharge-window budget on a platform
+// where every write is paid for twice (the operation and its wear).
+// Values still live at the end of the stream are never flagged: MOUSE
+// programs loop (Section IV-B), so the next pass may read them. An
+// intervening ACT makes broadcast-row coverage uncertain (the two
+// writes may land on different column sets), so such pending writes are
+// conservatively treated as read.
+func checkDeadWrite(p *Pass) {
+	type pending struct {
+		idx  int
+		loc  [2]int
+		read bool
+	}
+	var pendings []pending
+	for i := range p.Prog {
+		if !p.Valid[i] {
+			continue
+		}
+		in := &p.Prog[i]
+		if in.Kind == isa.KindAct {
+			for k := range pendings {
+				if pendings[k].loc[0] == isa.LocAnyTile {
+					pendings[k].read = true
+				}
+			}
+			continue
+		}
+		reads, writes := in.Effects()
+		for _, r := range reads {
+			for k := range pendings {
+				if locOverlap(pendings[k].loc, r) {
+					pendings[k].read = true
+				}
+			}
+		}
+		for _, w := range writes {
+			kept := pendings[:0]
+			for _, pd := range pendings {
+				if locCovers(w, pd.loc) {
+					if !pd.read {
+						switch {
+						case pd.loc[0] == isa.LocBuffer:
+							p.Report("dead-write", pd.idx, Warning, "the memory buffer loaded here is overwritten at instruction %d before any write stores it", i)
+						case pd.loc[0] == isa.LocAnyTile:
+							p.Report("dead-write", pd.idx, Warning, "row %d written here is overwritten at instruction %d before anything reads it", pd.loc[1], i)
+						default:
+							p.Report("dead-write", pd.idx, Warning, "tile %d row %d written here is overwritten at instruction %d before anything reads it", pd.loc[0], pd.loc[1], i)
+						}
+					}
+					continue // replaced either way
+				}
+				kept = append(kept, pd)
+			}
+			pendings = append(kept, pending{idx: i, loc: w})
+		}
+	}
+}
+
+// checkActivation enforces the column-activation discipline of Section
+// IV-B: presets and gates do nothing without a live activation, an
+// activation whose columns all fall outside the machine activates
+// nothing, and — because ACT replaces rather than accumulates (the
+// Section IV-D recovery invariant) — an ACT that is itself replaced
+// before any preset or gate uses it configured nothing at all.
+func checkActivation(p *Pass) {
+	g := p.Opts.Geometry
+	live := false
+	lastAct := -1
+	usedSinceAct := false
+	for i := range p.Prog {
+		if !p.Valid[i] {
+			continue
+		}
+		in := &p.Prog[i]
+		switch in.Kind {
+		case isa.KindPreset, isa.KindLogic:
+			if !live {
+				p.Report("activation", i, Error, "%s executes with no live column activation: no ACT precedes it, so it touches nothing", in.Kind)
+			}
+			usedSinceAct = true
+		case isa.KindAct:
+			if lastAct >= 0 && !usedSinceAct {
+				p.Report("activation", lastAct, Warning, "activation is replaced at instruction %d before any preset or logic uses it", i)
+			}
+			declared := in.ActiveColumns()
+			effective := 0
+			for _, c := range declared {
+				if int(c) < g.Cols {
+					effective++
+				}
+			}
+			if effective == 0 {
+				p.Report("activation", i, Warning, "activates no columns within the %d-column geometry", g.Cols)
+			} else if effective < len(declared) {
+				p.Report("activation", i, Warning, "only %d of %d activated columns fall inside the %d-column geometry", effective, len(declared), g.Cols)
+			}
+			lastAct = i
+			usedSinceAct = false
+			live = effective > 0
+		}
+	}
+}
+
+// checkReplay verifies the Section IV-D replay-safety condition for the
+// configured checkpoint interval: a region replayed from its last
+// checkpoint must be WAR-hazard-free, or the replayed reads observe
+// values the first execution already clobbered. With MOUSE's
+// per-instruction checkpointing (interval ≤ 1) every region is a single
+// instruction and trivially safe; the rule exists for checkpoint-thinned
+// deployments (sim.RunWithCheckpointInterval's model).
+func checkReplay(p *Pass) {
+	k := p.Opts.CheckpointInterval
+	if k <= 1 || !p.AllValid {
+		return
+	}
+	for start := 0; start < len(p.Prog); start += k {
+		end := start + k
+		if end > len(p.Prog) {
+			end = len(p.Prog)
+		}
+		for _, h := range isa.FindWARHazards(p.Prog[start:end]) {
+			abs := isa.Hazard{ReadAt: start + h.ReadAt, WriteAt: start + h.WriteAt, Tile: h.Tile, Row: h.Row}
+			p.Report("replay", abs.WriteAt, Error,
+				"checkpoint region [%d,%d) is not replay-safe: %s", start, end, abs)
+		}
+	}
+}
+
+// checkEnergy verifies Section I's forward-progress condition: the most
+// expensive single instruction — the unit of atomic progress — must fit
+// one full capacitor discharge window, or the device can never complete
+// it no matter how often it recharges. Headroom close to 1 is flagged
+// as fragile (device aging and temperature shrink the window).
+func checkEnergy(p *Pass) {
+	if !p.AllValid {
+		return
+	}
+	m := energy.NewModel(p.Opts.Config)
+	if p.Opts.Geometry.Cols < m.RowBits {
+		m.RowBits = p.Opts.Geometry.Cols
+	}
+	rep := sim.CheckTermination(sim.StreamFromProgram(p.Prog, p.Opts.Geometry.Tiles), m)
+	switch {
+	case rep.Ops == 0:
+		return
+	case !rep.OK:
+		p.Report("energy", int(rep.MaxOpIndex), Error,
+			"cannot make forward progress: this instruction needs %.3g J but one full discharge window holds %.3g J", rep.MaxOpJ, rep.WindowJ)
+	case rep.Headroom < p.Opts.MinHeadroom:
+		p.Report("energy", int(rep.MaxOpIndex), Warning,
+			"energy headroom is only %.2fx (window %.3g J over costliest op %.3g J); below the %.2gx margin", rep.Headroom, rep.WindowJ, rep.MaxOpJ, p.Opts.MinHeadroom)
+	}
+}
