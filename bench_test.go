@@ -55,7 +55,7 @@ func BenchmarkTableIII(b *testing.B) {
 func BenchmarkTableIV(b *testing.B) {
 	var rows []bench.TableIVRow
 	for i := 0; i < b.N; i++ {
-		rows = bench.ComputeTableIV()
+		rows = bench.ComputeTableIV(0)
 	}
 	for _, r := range rows {
 		if r.System == "MOUSE SVM (Modern STT)" && r.Benchmark == "SVM MNIST (Bin)" {
@@ -87,7 +87,7 @@ func benchmarkFig9(b *testing.B, cfg *mtj.Config) {
 	var points []bench.Fig9Point
 	for i := 0; i < b.N; i++ {
 		var err error
-		points, err = bench.ComputeFig9(cfg, powers)
+		points, err = bench.ComputeFig9(cfg, powers, 0)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -103,13 +103,33 @@ func BenchmarkFig9ModernSTT(b *testing.B)    { benchmarkFig9(b, mtj.ModernSTT())
 func BenchmarkFig9ProjectedSTT(b *testing.B) { benchmarkFig9(b, mtj.ProjectedSTT()) }
 func BenchmarkFig9SHE(b *testing.B)          { benchmarkFig9(b, mtj.ProjectedSHE()) }
 
+// The sweep engine's headline: the full Fig. 9 grid (8 systems × 8
+// power points) at one worker vs one worker per CPU. The ratio between
+// these two is the harness speedup recorded in BENCH_*.json trajectory
+// files.
+func benchmarkFig9Sweep(b *testing.B, workers int) {
+	cfg := mtj.ModernSTT()
+	for i := 0; i < b.N; i++ {
+		points, err := bench.ComputeFig9(cfg, bench.Powers(), workers)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(points) != 8*len(bench.Powers()) {
+			b.Fatalf("%d points", len(points))
+		}
+	}
+}
+
+func BenchmarkFig9SweepSerial(b *testing.B)   { benchmarkFig9Sweep(b, 1) }
+func BenchmarkFig9SweepParallel(b *testing.B) { benchmarkFig9Sweep(b, 0) }
+
 // --- Figs. 10–12: breakdowns at 60 µW --------------------------------------
 
 func benchmarkBreakdown(b *testing.B, cfg *mtj.Config) {
 	var rows []bench.BreakdownRow
 	for i := 0; i < b.N; i++ {
 		var err error
-		rows, err = bench.ComputeBreakdown(cfg, 60e-6)
+		rows, err = bench.ComputeBreakdown(cfg, 60e-6, 0)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -130,7 +150,7 @@ func BenchmarkCrossover(b *testing.B) {
 	var p float64
 	for i := 0; i < b.N; i++ {
 		var err error
-		p, err = bench.CrossoverPowerW(mtj.ModernSTT())
+		p, err = bench.CrossoverPowerW(mtj.ModernSTT(), 0)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -327,7 +347,7 @@ func BenchmarkCompileMultiplier(b *testing.B) {
 func BenchmarkSONICModel(b *testing.B) {
 	_ = io.Discard
 	for i := 0; i < b.N; i++ {
-		pts, err := bench.ComputeFig9(mtj.ModernSTT(), []float64{5e-3})
+		pts, err := bench.ComputeFig9(mtj.ModernSTT(), []float64{5e-3}, 0)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -400,7 +420,7 @@ func BenchmarkFFTComparison(b *testing.B) {
 	var rows []bench.FFTRow
 	for i := 0; i < b.N; i++ {
 		var err error
-		rows, err = bench.ComputeFFT()
+		rows, err = bench.ComputeFFT(0)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -5,9 +5,16 @@
 //
 //	mousebench [-experiment all|table1|table2|table3|table4|fig9|fig10|fig11|fig12|
 //	            crossover|robustness|checkpoint|parallelism|fft]
+//	           [-parallel N] [-json] [-out FILE]
 //
 // Each experiment prints the same rows or series the paper reports; see
-// EXPERIMENTS.md for the paper-vs-measured comparison.
+// EXPERIMENTS.md for the paper-vs-measured comparison. Grid-shaped
+// experiments run on a worker pool bounded by -parallel (default: one
+// worker per CPU); results are identical at any parallelism. -json
+// replaces the tables with a machine-readable report (schema documented
+// in EXPERIMENTS.md); -out writes the output to a file instead of
+// stdout, e.g. `mousebench -json -out BENCH.json` to record a
+// perf-trajectory snapshot.
 package main
 
 import (
@@ -17,65 +24,41 @@ import (
 	"os"
 
 	"mouse/internal/bench"
-	"mouse/internal/mtj"
 )
 
 func main() {
 	experiment := flag.String("experiment", "all", "which experiment to run")
+	parallel := flag.Int("parallel", 0, "sweep worker bound; 0 means one per CPU")
+	asJSON := flag.Bool("json", false, "emit a machine-readable report instead of tables")
+	outPath := flag.String("out", "", "write output to this file instead of stdout")
 	flag.Parse()
-	if err := runExperiments(*experiment, os.Stdout); err != nil {
+
+	out := io.Writer(os.Stdout)
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mousebench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		out = f
+	}
+	if err := runExperiments(*experiment, out, *parallel, *asJSON); err != nil {
 		fmt.Fprintln(os.Stderr, "mousebench:", err)
 		os.Exit(1)
 	}
 }
 
-// runExperiments executes the selected experiment (or all of them),
-// writing the tables to out.
-func runExperiments(experiment string, out io.Writer) error {
-	var firstErr error
-	matched := false
-	run := func(name string, f func() error) {
-		if experiment != "all" && experiment != name {
-			return
-		}
-		matched = true
-		if err := f(); err != nil && firstErr == nil {
-			firstErr = fmt.Errorf("%s: %w", name, err)
-		}
-		fmt.Fprintln(out)
-	}
-	run("table1", func() error { bench.PrintTableI(out, mtj.ModernSTT()); return nil })
-	run("table2", func() error { bench.PrintTableII(out); return nil })
-	run("table3", func() error { bench.PrintTableIII(out); return nil })
-	run("table4", func() error { bench.PrintTableIV(out); return nil })
-	run("fig9", func() error {
-		for _, cfg := range mtj.Configs() {
-			if err := bench.PrintFig9(out, cfg); err != nil {
-				return err
-			}
-			fmt.Fprintln(out)
-		}
-		return nil
-	})
-	run("fig10", func() error { return bench.PrintBreakdown(out, mtj.ModernSTT(), 60e-6, "Fig. 10") })
-	run("fig11", func() error { return bench.PrintBreakdown(out, mtj.ProjectedSTT(), 60e-6, "Fig. 11") })
-	run("fig12", func() error { return bench.PrintBreakdown(out, mtj.ProjectedSHE(), 60e-6, "Fig. 12") })
-	run("fft", func() error { return bench.PrintFFT(out) })
-	run("robustness", func() error { bench.PrintRobustness(out); return nil })
-	run("checkpoint", func() error { return bench.PrintCheckpointSweep(out, mtj.ModernSTT(), "SVM ADULT") })
-	run("parallelism", func() error { bench.PrintParallelism(out); return nil })
-	run("crossover", func() error {
-		p, err := bench.CrossoverPowerW(mtj.ModernSTT())
+// runExperiments executes the selected experiment (or all of them) with
+// the given sweep-worker bound, writing tables — or, with asJSON, the
+// structured report — to out.
+func runExperiments(experiment string, out io.Writer, workers int, asJSON bool) error {
+	if asJSON {
+		rep, err := bench.BuildReport(experiment, workers)
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(out, "FP-BNN vs SVM MNIST (Bin) latency crossover: %.3g W\n", p)
-		fmt.Fprintln(out, "below this power the energy-hungrier FP-BNN is slower; above it its")
-		fmt.Fprintln(out, "higher exploited parallelism wins (Section IX)")
-		return nil
-	})
-	if !matched {
-		return fmt.Errorf("unknown experiment %q", experiment)
+		return rep.WriteJSON(out)
 	}
-	return firstErr
+	return bench.RunPrinted(out, experiment, workers)
 }

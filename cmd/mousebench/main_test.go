@@ -2,8 +2,12 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"reflect"
 	"strings"
 	"testing"
+
+	"mouse/internal/bench"
 )
 
 func TestRunSingleExperiments(t *testing.T) {
@@ -21,7 +25,7 @@ func TestRunSingleExperiments(t *testing.T) {
 	}
 	for exp, want := range cases {
 		var out bytes.Buffer
-		if err := runExperiments(exp, &out); err != nil {
+		if err := runExperiments(exp, &out, 1, false); err != nil {
 			t.Fatalf("%s: %v", exp, err)
 		}
 		if !strings.Contains(out.String(), want) {
@@ -32,7 +36,119 @@ func TestRunSingleExperiments(t *testing.T) {
 
 func TestRunUnknownExperiment(t *testing.T) {
 	var out bytes.Buffer
-	if err := runExperiments("frobnicate", &out); err == nil {
+	if err := runExperiments("frobnicate", &out, 1, false); err == nil {
 		t.Fatalf("unknown experiment accepted")
+	}
+	if err := runExperiments("frobnicate", &out, 1, true); err == nil {
+		t.Fatalf("unknown experiment accepted in JSON mode")
+	}
+}
+
+// TestOutputIsExactlyTheSelectedExperiment pins the tightened output
+// framing: a single experiment produces its table and nothing else — no
+// leading or trailing blank line — and "all" separates experiments by
+// exactly one blank line.
+func TestOutputIsExactlyTheSelectedExperiment(t *testing.T) {
+	var single bytes.Buffer
+	if err := runExperiments("table2", &single, 1, false); err != nil {
+		t.Fatal(err)
+	}
+	out := single.String()
+	if strings.HasPrefix(out, "\n") || strings.HasSuffix(out, "\n\n") {
+		t.Errorf("table2 output has blank-line padding: %q", out)
+	}
+	if !strings.HasSuffix(out, "\n") {
+		t.Errorf("table2 output does not end in a newline: %q", out)
+	}
+
+	// Stitching single-experiment outputs with one blank line between
+	// them must reproduce a multi-experiment run exactly.
+	var stitched bytes.Buffer
+	for i, exp := range []string{"table1", "table2", "table3"} {
+		if i > 0 {
+			stitched.WriteString("\n")
+		}
+		if err := runExperiments(exp, &stitched, 1, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if strings.Contains(stitched.String(), "\n\n\n") {
+		t.Errorf("experiments separated by more than one blank line")
+	}
+}
+
+// TestDeterministicTables runs the full experiment suite twice, serial
+// and parallel, and requires byte-identical table output: goroutine
+// scheduling in the sweep engine must not leak into results.
+func TestDeterministicTables(t *testing.T) {
+	render := func(workers int) string {
+		var out bytes.Buffer
+		if err := runExperiments("all", &out, workers, false); err != nil {
+			t.Fatal(err)
+		}
+		return out.String()
+	}
+	serial := render(1)
+	again := render(1)
+	parallel := render(8)
+	if serial != again {
+		t.Errorf("two serial runs differ")
+	}
+	if serial != parallel {
+		t.Errorf("-parallel 8 output differs from -parallel 1")
+	}
+	if !strings.Contains(serial, "Fig. 12") || !strings.Contains(serial, "crossover") {
+		t.Errorf("full run missing experiments")
+	}
+}
+
+// TestDeterministicJSONReports builds the full JSON report serially and
+// in parallel and requires the normalized reports deep-equal, and their
+// encodings byte-identical.
+func TestDeterministicJSONReports(t *testing.T) {
+	build := func(workers int) (*bench.Report, []byte) {
+		rep, err := bench.BuildReport("all", workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep.Normalize()
+		var buf bytes.Buffer
+		if err := rep.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return rep, buf.Bytes()
+	}
+	serialRep, serialJSON := build(1)
+	parallelRep, parallelJSON := build(8)
+	if !reflect.DeepEqual(serialRep, parallelRep) {
+		t.Errorf("normalized reports differ between -parallel 1 and -parallel 8")
+	}
+	if !bytes.Equal(serialJSON, parallelJSON) {
+		t.Errorf("JSON encodings differ between -parallel 1 and -parallel 8")
+	}
+}
+
+// TestJSONModeEmitsValidReport exercises the -json path end to end.
+func TestJSONModeEmitsValidReport(t *testing.T) {
+	var out bytes.Buffer
+	if err := runExperiments("table3", &out, 2, true); err != nil {
+		t.Fatal(err)
+	}
+	var rep bench.Report
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if rep.Schema != bench.Schema || rep.Tool != "mousebench" {
+		t.Errorf("report header %q/%q", rep.Schema, rep.Tool)
+	}
+	if rep.Parallelism != 2 {
+		t.Errorf("parallelism %d, want 2", rep.Parallelism)
+	}
+	if len(rep.Experiments) != 1 || rep.Experiments[0].Name != "table3" {
+		t.Fatalf("experiments %+v", rep.Experiments)
+	}
+	rows, ok := rep.Experiments[0].Rows.([]any)
+	if !ok || len(rows) != 6 {
+		t.Fatalf("table3 rows: %#v", rep.Experiments[0].Rows)
 	}
 }

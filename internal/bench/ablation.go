@@ -27,26 +27,28 @@ type RobustnessRow struct {
 }
 
 // ComputeRobustness quantifies Section II-D's robustness claim: the
-// largest relative MTJ resistance variation each gate tolerates.
-func ComputeRobustness() []RobustnessRow {
-	var rows []RobustnessRow
-	for g := mtj.GateKind(0); g.Valid(); g++ {
-		rows = append(rows, RobustnessRow{
+// largest relative MTJ resistance variation each gate tolerates. One
+// pool job per gate.
+func ComputeRobustness(workers int) []RobustnessRow {
+	n := int(mtj.NumGates)
+	rows, _ := runJobs(workers, n, func(i int) (RobustnessRow, error) {
+		g := mtj.GateKind(i)
+		return RobustnessRow{
 			Gate:      g,
 			ModernSTT: mtj.VariationTolerance(g, mtj.ModernSTT()),
 			ProjSTT:   mtj.VariationTolerance(g, mtj.ProjectedSTT()),
 			SHE:       mtj.VariationTolerance(g, mtj.ProjectedSHE()),
-		})
-	}
+		}, nil
+	})
 	return rows
 }
 
 // PrintRobustness renders the variation-tolerance study.
-func PrintRobustness(w io.Writer) {
+func PrintRobustness(w io.Writer, workers int) {
 	fmt.Fprintln(w, "Robustness — tolerated MTJ resistance variation (±%), per gate (Section II-D)")
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "gate\tModern STT\tProjected STT\tSHE")
-	for _, r := range ComputeRobustness() {
+	for _, r := range ComputeRobustness(workers) {
 		fmt.Fprintf(tw, "%s\t%.1f\t%.1f\t%.1f\n", r.Gate, r.ModernSTT*100, r.ProjSTT*100, r.SHE*100)
 	}
 	tw.Flush()
@@ -65,28 +67,28 @@ type CheckpointRow struct {
 
 // ComputeCheckpointSweep runs a benchmark at 60 µW with checkpoint
 // intervals of 1 (MOUSE's design point), 8 and 64 instructions — the
-// frequency trade-off of Section IV-D.
-func ComputeCheckpointSweep(cfg *mtj.Config, benchmark string) ([]CheckpointRow, error) {
+// frequency trade-off of Section IV-D. One pool job per interval.
+func ComputeCheckpointSweep(cfg *mtj.Config, benchmark string, workers int) ([]CheckpointRow, error) {
 	spec, err := workload.ByName(benchmark)
 	if err != nil {
 		return nil, err
 	}
-	r := sim.NewRunner(energy.NewModel(cfg))
-	var rows []CheckpointRow
-	for _, interval := range []int{1, 8, 64} {
+	intervals := []int{1, 8, 64}
+	return runJobs(workers, len(intervals), func(i int) (CheckpointRow, error) {
+		interval := intervals[i]
+		r := sim.NewRunner(energy.NewModel(cfg))
 		h := power.NewHarvester(power.Constant{W: 60e-6}, cfg.CapC, cfg.CapVMin, cfg.CapVMax)
 		res, err := r.RunWithCheckpointInterval(spec.Stream(), h, interval)
 		if err != nil {
-			return nil, fmt.Errorf("interval %d: %w", interval, err)
+			return CheckpointRow{}, fmt.Errorf("interval %d: %w", interval, err)
 		}
-		rows = append(rows, CheckpointRow{Interval: interval, Breakdown: res.Breakdown})
-	}
-	return rows, nil
+		return CheckpointRow{Interval: interval, Breakdown: res.Breakdown}, nil
+	})
 }
 
 // PrintCheckpointSweep renders the checkpoint-interval ablation.
-func PrintCheckpointSweep(w io.Writer, cfg *mtj.Config, benchmark string) error {
-	rows, err := ComputeCheckpointSweep(cfg, benchmark)
+func PrintCheckpointSweep(w io.Writer, cfg *mtj.Config, benchmark string, workers int) error {
+	rows, err := ComputeCheckpointSweep(cfg, benchmark, workers)
 	if err != nil {
 		return err
 	}
@@ -100,19 +102,44 @@ func PrintCheckpointSweep(w io.Writer, cfg *mtj.Config, benchmark string) error 
 	return tw.Flush()
 }
 
+// ParallelismRow is one configuration's power-budget parallelism limit
+// (Section IV-C).
+type ParallelismRow struct {
+	Config string
+	// FullCols and HeadroomCols are the active-column caps with no
+	// energy headroom and with 2× headroom.
+	FullCols, HeadroomCols int
+	// PeakPowerW is the instantaneous draw of a NAND2 issued at the
+	// full width.
+	PeakPowerW float64
+}
+
+// ComputeParallelism evaluates the parallelism budget per configuration.
+func ComputeParallelism() []ParallelismRow {
+	var rows []ParallelismRow
+	for _, cfg := range mtj.Configs() {
+		m := energy.NewModel(cfg)
+		full := sim.MaxParallelColumns(m, 1.0)
+		half := sim.MaxParallelColumns(m, 2.0)
+		op := energy.Op{Kind: isa.KindLogic, Gate: mtj.NAND2, ActivePairs: full}
+		rows = append(rows, ParallelismRow{
+			Config:       cfg.Name,
+			FullCols:     full,
+			HeadroomCols: half,
+			PeakPowerW:   m.Energy(op) / m.CycleTime(),
+		})
+	}
+	return rows
+}
+
 // PrintParallelism renders the power-budget parallelism limits
 // (Section IV-C: tuning power draw by adjusting parallelism).
 func PrintParallelism(w io.Writer) {
 	fmt.Fprintln(w, "Parallelism budget — max simultaneously active columns per buffer discharge (Section IV-C)")
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "configuration\tno headroom\t2x headroom\tpeak power at that width")
-	for _, cfg := range mtj.Configs() {
-		m := energy.NewModel(cfg)
-		full := sim.MaxParallelColumns(m, 1.0)
-		half := sim.MaxParallelColumns(m, 2.0)
-		op := energy.Op{Kind: isa.KindLogic, Gate: mtj.NAND2, ActivePairs: full}
-		watts := m.Energy(op) / m.CycleTime()
-		fmt.Fprintf(tw, "%s\t%d cols\t%d cols\t%.3g W\n", cfg.Name, full, half, watts)
+	for _, r := range ComputeParallelism() {
+		fmt.Fprintf(tw, "%s\t%d cols\t%d cols\t%.3g W\n", r.Config, r.FullCols, r.HeadroomCols, r.PeakPowerW)
 	}
 	tw.Flush()
 }
@@ -125,33 +152,38 @@ type FFTRow struct {
 }
 
 // ComputeFFT runs the CRAFFT-style 1024-point FFT workload on each MOUSE
-// configuration under continuous power and lists the paper's reference
-// systems alongside.
-func ComputeFFT() ([]FFTRow, error) {
+// configuration under continuous power (one pool job per configuration)
+// and lists the paper's reference systems alongside.
+func ComputeFFT(workers int) ([]FFTRow, error) {
 	p := fft.MiBenchParams()
 	rows := []FFTRow{
 		{System: "NVP (THU1010N) [57]", LatencySec: fft.NVPLatency},
 		{System: "CRAFFT on CRAM [19]", LatencySec: fft.CRAFFTLatency},
 	}
-	for _, cfg := range mtj.Configs() {
+	cfgs := mtj.Configs()
+	mouseRows, err := runJobs(workers, len(cfgs), func(i int) (FFTRow, error) {
+		cfg := cfgs[i]
 		s, err := fft.Stream(p)
 		if err != nil {
-			return nil, err
+			return FFTRow{}, err
 		}
 		r := sim.NewRunner(energy.NewModel(cfg))
 		res := r.RunContinuous(s)
-		rows = append(rows, FFTRow{
+		return FFTRow{
 			System:     "MOUSE " + cfg.Name + " (intermittent-safe)",
 			LatencySec: res.OnLatency,
 			EnergyJ:    res.TotalEnergy(),
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return rows, nil
+	return append(rows, mouseRows...), nil
 }
 
 // PrintFFT renders the FFT comparison.
-func PrintFFT(w io.Writer) error {
-	rows, err := ComputeFFT()
+func PrintFFT(w io.Writer, workers int) error {
+	rows, err := ComputeFFT(workers)
 	if err != nil {
 		return err
 	}

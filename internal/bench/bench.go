@@ -93,16 +93,35 @@ func PrintTableI(w io.Writer, cfg *mtj.Config) {
 
 // --- Table II ------------------------------------------------------------
 
+// TableIIRow is one MTJ device parameter (Table II).
+type TableIIRow struct {
+	Parameter string
+	Unit      string
+	// Decimals is the precision the paper quotes the parameter at.
+	Decimals int
+	Modern   float64
+	Proj     float64
+}
+
+// ComputeTableII returns the MTJ device parameters in paper units.
+func ComputeTableII() []TableIIRow {
+	m, p := mtj.Modern(), mtj.Projected()
+	return []TableIIRow{
+		{Parameter: "P state resistance", Unit: "kΩ", Decimals: 2, Modern: m.RP / 1e3, Proj: p.RP / 1e3},
+		{Parameter: "AP state resistance", Unit: "kΩ", Decimals: 2, Modern: m.RAP / 1e3, Proj: p.RAP / 1e3},
+		{Parameter: "switching time", Unit: "ns", Decimals: 0, Modern: m.SwitchTime * 1e9, Proj: p.SwitchTime * 1e9},
+		{Parameter: "switching current", Unit: "µA", Decimals: 0, Modern: m.SwitchCurrent * 1e6, Proj: p.SwitchCurrent * 1e6},
+	}
+}
+
 // PrintTableII renders the MTJ device parameters (Table II).
 func PrintTableII(w io.Writer) {
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "Table II — MTJ device parameters")
 	fmt.Fprintln(tw, "parameter\tmodern\tprojected")
-	m, p := mtj.Modern(), mtj.Projected()
-	fmt.Fprintf(tw, "P state resistance\t%.2f kΩ\t%.2f kΩ\n", m.RP/1e3, p.RP/1e3)
-	fmt.Fprintf(tw, "AP state resistance\t%.2f kΩ\t%.2f kΩ\n", m.RAP/1e3, p.RAP/1e3)
-	fmt.Fprintf(tw, "switching time\t%.0f ns\t%.0f ns\n", m.SwitchTime*1e9, p.SwitchTime*1e9)
-	fmt.Fprintf(tw, "switching current\t%.0f µA\t%.0f µA\n", m.SwitchCurrent*1e6, p.SwitchCurrent*1e6)
+	for _, r := range ComputeTableII() {
+		fmt.Fprintf(tw, "%s\t%.*f %s\t%.*f %s\n", r.Parameter, r.Decimals, r.Modern, r.Unit, r.Decimals, r.Proj, r.Unit)
+	}
 	tw.Flush()
 }
 
@@ -159,18 +178,20 @@ type TableIVRow struct {
 
 // ComputeTableIV runs every MOUSE benchmark under continuous power
 // (Modern STT, as in the paper) and appends the CPU/libSVM/SONIC
-// reference rows.
-func ComputeTableIV() []TableIVRow {
+// reference rows. The per-benchmark runs execute on the sweep pool with
+// the given worker bound (<= 0 selects DefaultWorkers).
+func ComputeTableIV(workers int) []TableIVRow {
 	cfg := mtj.ModernSTT()
-	r := sim.NewRunner(energy.NewModel(cfg))
-	var rows []TableIVRow
-	for _, s := range workload.Benchmarks() {
+	specs := workload.Benchmarks()
+	rows, _ := runJobs(workers, len(specs), func(i int) (TableIVRow, error) {
+		s := specs[i]
+		r := sim.NewRunner(energy.NewModel(cfg))
 		res := r.RunContinuous(s.Stream())
 		system := "MOUSE SVM (Modern STT)"
 		if s.Kind == workload.BNN {
 			system = "MOUSE BNN (Modern STT)"
 		}
-		rows = append(rows, TableIVRow{
+		return TableIVRow{
 			System:    system,
 			Benchmark: s.Name,
 			LatencyUS: res.OnLatency * 1e6,
@@ -179,8 +200,8 @@ func ComputeTableIV() []TableIVRow {
 			InstrMB:   s.InstrMB,
 			DataMB:    s.DataMB,
 			AreaMM2:   energy.Area(cfg, s.MemBytes),
-		})
-	}
+		}, nil
+	})
 	for _, ref := range baseline.CPUReference() {
 		rows = append(rows, TableIVRow{System: ref.System, Benchmark: ref.Benchmark,
 			LatencyUS: ref.LatencyUS, EnergyUJ: ref.EnergyUJ, NumSV: ref.NumSV})
@@ -197,11 +218,11 @@ func ComputeTableIV() []TableIVRow {
 }
 
 // PrintTableIV renders Table IV.
-func PrintTableIV(w io.Writer) {
+func PrintTableIV(w io.Writer, workers int) {
 	fmt.Fprintln(w, "Table IV — continuous power (MOUSE rows simulated; CPU/libSVM/SONIC rows from the paper)")
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "system\tbenchmark\tlatency (µs)\tenergy (µJ)\t#SV\tI/D mem (MB)\tarea (mm²)")
-	for _, r := range ComputeTableIV() {
+	for _, r := range ComputeTableIV(workers) {
 		sv := "-"
 		if r.NumSV > 0 {
 			sv = fmt.Sprintf("%d", r.NumSV)
@@ -231,37 +252,39 @@ type Fig9Point struct {
 }
 
 // ComputeFig9 sweeps the power source for every MOUSE benchmark under
-// the given configuration, plus the SONIC baselines.
-func ComputeFig9(cfg *mtj.Config, powers []float64) ([]Fig9Point, error) {
-	r := sim.NewRunner(energy.NewModel(cfg))
-	var points []Fig9Point
-	for _, s := range workload.Benchmarks() {
-		for _, p := range powers {
+// the given configuration, plus the SONIC baselines. Every
+// (system, power) cell is one pool job owning its runner and harvester;
+// points come back in grid order regardless of scheduling.
+func ComputeFig9(cfg *mtj.Config, powers []float64, workers int) ([]Fig9Point, error) {
+	specs := workload.Benchmarks()
+	sonics := []func() *baseline.SONIC{baseline.SONICMNIST, baseline.SONICHAR}
+	n := (len(specs) + len(sonics)) * len(powers)
+	return runJobs(workers, n, func(i int) (Fig9Point, error) {
+		sys, p := i/len(powers), powers[i%len(powers)]
+		if sys < len(specs) {
+			s := specs[sys]
+			r := sim.NewRunner(energy.NewModel(cfg))
 			h := power.NewHarvester(power.Constant{W: p}, cfg.CapC, cfg.CapVMin, cfg.CapVMax)
 			res, err := r.Run(s.Stream(), h)
 			if err != nil {
-				return nil, fmt.Errorf("%s at %g W: %w", s.Name, p, err)
+				return Fig9Point{}, fmt.Errorf("%s at %g W: %w", s.Name, p, err)
 			}
-			points = append(points, Fig9Point{System: s.Name, Watts: p,
-				LatencySec: res.TotalLatency(), Restarts: res.Restarts})
+			return Fig9Point{System: s.Name, Watts: p,
+				LatencySec: res.TotalLatency(), Restarts: res.Restarts}, nil
 		}
-	}
-	for _, sb := range []*baseline.SONIC{baseline.SONICMNIST(), baseline.SONICHAR()} {
-		for _, p := range powers {
-			res, err := sb.Run(power.Constant{W: p})
-			if err != nil {
-				return nil, fmt.Errorf("%s at %g W: %w", sb.Name, p, err)
-			}
-			points = append(points, Fig9Point{System: sb.Name, Watts: p,
-				LatencySec: res.Latency, Restarts: uint64(res.Restarts)})
+		sb := sonics[sys-len(specs)]()
+		res, err := sb.Run(power.Constant{W: p})
+		if err != nil {
+			return Fig9Point{}, fmt.Errorf("%s at %g W: %w", sb.Name, p, err)
 		}
-	}
-	return points, nil
+		return Fig9Point{System: sb.Name, Watts: p,
+			LatencySec: res.Latency, Restarts: uint64(res.Restarts)}, nil
+	})
 }
 
 // PrintFig9 renders the latency-vs-power series.
-func PrintFig9(w io.Writer, cfg *mtj.Config) error {
-	points, err := ComputeFig9(cfg, Powers())
+func PrintFig9(w io.Writer, cfg *mtj.Config, workers int) error {
+	points, err := ComputeFig9(cfg, Powers(), workers)
 	if err != nil {
 		return err
 	}
@@ -295,18 +318,20 @@ func PrintFig9(w io.Writer, cfg *mtj.Config) error {
 // cross-over of the latency between FP-BNN and SVM MNIST (Bin)"): below
 // it the energy-hungrier FP-BNN is slower (latency is energy-bound);
 // above it FP-BNN's higher exploited parallelism wins.
-func CrossoverPowerW(cfg *mtj.Config) (float64, error) {
-	r := sim.NewRunner(energy.NewModel(cfg))
-	bin, err := workload.ByName("SVM MNIST (Bin)")
+func CrossoverPowerW(cfg *mtj.Config, workers int) (float64, error) {
+	names := []string{"SVM MNIST (Bin)", "BNN FPBNN MNIST"}
+	runs, err := runJobs(workers, len(names), func(i int) (sim.Result, error) {
+		s, err := workload.ByName(names[i])
+		if err != nil {
+			return sim.Result{}, err
+		}
+		r := sim.NewRunner(energy.NewModel(cfg))
+		return r.RunContinuous(s.Stream()), nil
+	})
 	if err != nil {
 		return 0, err
 	}
-	fp, err := workload.ByName("BNN FPBNN MNIST")
-	if err != nil {
-		return 0, err
-	}
-	rb := r.RunContinuous(bin.Stream())
-	rf := r.RunContinuous(fp.Stream())
+	rb, rf := runs[0], runs[1]
 	dE := rf.TotalEnergy() - rb.TotalEnergy()
 	dT := rb.OnLatency - rf.OnLatency
 	if dE <= 0 || dT <= 0 {
@@ -324,24 +349,24 @@ type BreakdownRow struct {
 }
 
 // ComputeBreakdown runs every benchmark at the given harvested power
-// (the figures use 60 µW) under cfg.
-func ComputeBreakdown(cfg *mtj.Config, watts float64) ([]BreakdownRow, error) {
-	r := sim.NewRunner(energy.NewModel(cfg))
-	var rows []BreakdownRow
-	for _, s := range workload.Benchmarks() {
+// (the figures use 60 µW) under cfg, one pool job per benchmark.
+func ComputeBreakdown(cfg *mtj.Config, watts float64, workers int) ([]BreakdownRow, error) {
+	specs := workload.Benchmarks()
+	return runJobs(workers, len(specs), func(i int) (BreakdownRow, error) {
+		s := specs[i]
+		r := sim.NewRunner(energy.NewModel(cfg))
 		h := power.NewHarvester(power.Constant{W: watts}, cfg.CapC, cfg.CapVMin, cfg.CapVMax)
 		res, err := r.Run(s.Stream(), h)
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", s.Name, err)
+			return BreakdownRow{}, fmt.Errorf("%s: %w", s.Name, err)
 		}
-		rows = append(rows, BreakdownRow{Benchmark: s.Name, Breakdown: res.Breakdown})
-	}
-	return rows, nil
+		return BreakdownRow{Benchmark: s.Name, Breakdown: res.Breakdown}, nil
+	})
 }
 
 // PrintBreakdown renders one of Figs. 10–12.
-func PrintBreakdown(w io.Writer, cfg *mtj.Config, watts float64, figure string) error {
-	rows, err := ComputeBreakdown(cfg, watts)
+func PrintBreakdown(w io.Writer, cfg *mtj.Config, watts float64, figure string, workers int) error {
+	rows, err := ComputeBreakdown(cfg, watts, workers)
 	if err != nil {
 		return err
 	}

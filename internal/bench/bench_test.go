@@ -58,7 +58,7 @@ func TestTableIIIMatchesPaper(t *testing.T) {
 }
 
 func TestTableIVRows(t *testing.T) {
-	rows := ComputeTableIV()
+	rows := ComputeTableIV(0)
 	if len(rows) != 6+4+4+2 {
 		t.Fatalf("%d rows, want 16", len(rows))
 	}
@@ -93,7 +93,7 @@ func TestTableIVRows(t *testing.T) {
 func TestFig9Shapes(t *testing.T) {
 	cfg := mtj.ModernSTT()
 	powers := []float64{60e-6, 500e-6, 5e-3}
-	points, err := ComputeFig9(cfg, powers)
+	points, err := ComputeFig9(cfg, powers, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -137,7 +137,7 @@ func TestSHEHasLowestLatencyAtLowPower(t *testing.T) {
 	for _, name := range []string{"SVM MNIST (Bin)", "BNN FINN MNIST"} {
 		var lat [3]float64
 		for i, cfg := range mtj.Configs() {
-			points, err := ComputeFig9(cfg, []float64{60e-6})
+			points, err := ComputeFig9(cfg, []float64{60e-6}, 0)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -156,7 +156,7 @@ func TestSHEHasLowestLatencyAtLowPower(t *testing.T) {
 
 func TestCrossoverPower(t *testing.T) {
 	cfg := mtj.ModernSTT()
-	p, err := CrossoverPowerW(cfg)
+	p, err := CrossoverPowerW(cfg, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -165,7 +165,7 @@ func TestCrossoverPower(t *testing.T) {
 	}
 	t.Logf("FP-BNN / SVM-bin latency crossover at %.3g W", p)
 	// Below the crossover the energy-hungrier FP-BNN must be slower.
-	points, err := ComputeFig9(cfg, []float64{60e-6})
+	points, err := ComputeFig9(cfg, []float64{60e-6}, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -186,7 +186,7 @@ func TestCrossoverPower(t *testing.T) {
 func TestBreakdownShares(t *testing.T) {
 	var dead [3]float64
 	for i, cfg := range mtj.Configs() {
-		rows, err := ComputeBreakdown(cfg, 60e-6)
+		rows, err := ComputeBreakdown(cfg, 60e-6, 0)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -222,8 +222,8 @@ func TestPrintersProduceOutput(t *testing.T) {
 	PrintTableI(&buf, mtj.ModernSTT())
 	PrintTableII(&buf)
 	PrintTableIII(&buf)
-	PrintTableIV(&buf)
-	if err := PrintBreakdown(&buf, mtj.ProjectedSHE(), 60e-6, "Fig. 12"); err != nil {
+	PrintTableIV(&buf, 0)
+	if err := PrintBreakdown(&buf, mtj.ProjectedSHE(), 60e-6, "Fig. 12", 0); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -236,7 +236,7 @@ func TestPrintersProduceOutput(t *testing.T) {
 
 func TestPrintFig9(t *testing.T) {
 	var buf bytes.Buffer
-	if err := PrintFig9(&buf, mtj.ProjectedSHE()); err != nil {
+	if err := PrintFig9(&buf, mtj.ProjectedSHE(), 0); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "SONIC MNIST") {
@@ -245,7 +245,7 @@ func TestPrintFig9(t *testing.T) {
 }
 
 func TestRobustnessStudy(t *testing.T) {
-	rows := ComputeRobustness()
+	rows := ComputeRobustness(0)
 	if len(rows) != mtj.NumGates {
 		t.Fatalf("%d rows", len(rows))
 	}
@@ -258,14 +258,14 @@ func TestRobustnessStudy(t *testing.T) {
 		}
 	}
 	var buf bytes.Buffer
-	PrintRobustness(&buf)
+	PrintRobustness(&buf, 0)
 	if !strings.Contains(buf.String(), "array-level limits") {
 		t.Errorf("robustness output incomplete")
 	}
 }
 
 func TestCheckpointSweepShapes(t *testing.T) {
-	rows, err := ComputeCheckpointSweep(mtj.ModernSTT(), "SVM ADULT")
+	rows, err := ComputeCheckpointSweep(mtj.ModernSTT(), "SVM ADULT", 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -281,13 +281,13 @@ func TestCheckpointSweepShapes(t *testing.T) {
 		t.Errorf("dead energy did not grow with interval: %g vs %g", rows[2].DeadEnergy, rows[0].DeadEnergy)
 	}
 	var buf bytes.Buffer
-	if err := PrintCheckpointSweep(&buf, mtj.ModernSTT(), "SVM ADULT"); err != nil {
+	if err := PrintCheckpointSweep(&buf, mtj.ModernSTT(), "SVM ADULT", 0); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "interval") {
 		t.Errorf("sweep output incomplete")
 	}
-	if _, err := ComputeCheckpointSweep(mtj.ModernSTT(), "nope"); err == nil {
+	if _, err := ComputeCheckpointSweep(mtj.ModernSTT(), "nope", 0); err == nil {
 		t.Errorf("unknown benchmark accepted")
 	}
 }
@@ -305,7 +305,7 @@ func TestPrintParallelism(t *testing.T) {
 // a latency penalty against the non-intermittent-safe CRAFFT mapping on
 // the same substrate (modern MTJs).
 func TestFFTComparison(t *testing.T) {
-	rows, err := ComputeFFT()
+	rows, err := ComputeFFT(0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -326,7 +326,7 @@ func TestFFTComparison(t *testing.T) {
 		t.Errorf("MOUSE %.3g s should pay an intermittent-safety penalty vs CRAFFT's %.3g s", mouse.LatencySec, crafft.LatencySec)
 	}
 	var buf bytes.Buffer
-	if err := PrintFFT(&buf); err != nil {
+	if err := PrintFFT(&buf, 0); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "CRAFFT") {

@@ -1,0 +1,255 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"mouse/internal/mtj"
+)
+
+// Schema identifies the JSON report layout. Bump it when the report
+// structure changes incompatibly; BENCH_*.json files across PRs form
+// the perf trajectory and tooling keys off this string.
+const Schema = "mouse-bench/v1"
+
+// Report is the machine-readable result of a mousebench run: every
+// selected experiment's typed rows plus its wall-clock cost, so a
+// committed BENCH_N.json both records the paper-reproduction numbers
+// and tracks how fast the harness regenerates them.
+type Report struct {
+	Schema string `json:"schema"`
+	Tool   string `json:"tool"`
+	// Parallelism is the sweep-engine worker bound the run used
+	// (resolved: never 0).
+	Parallelism int                `json:"parallelism"`
+	Experiments []ExperimentReport `json:"experiments"`
+}
+
+// ExperimentReport is one experiment's structured result.
+type ExperimentReport struct {
+	Name string `json:"name"`
+	// WallSeconds is the host wall-clock time computing the rows took.
+	WallSeconds float64 `json:"wall_seconds"`
+	// Rows is the experiment's typed row slice (e.g. []Fig9Sweep for
+	// fig9, []TableIVRow for table4); in decoded reports it is the
+	// generic JSON form.
+	Rows any `json:"rows"`
+}
+
+// WriteJSON emits the report as indented JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// Normalize zeroes the run-environment fields — wall-clock times and
+// the worker count — leaving only the simulated results, so reports
+// from different machines or parallelism settings compare deep-equal
+// exactly when the simulation itself is deterministic.
+func (r *Report) Normalize() {
+	r.Parallelism = 0
+	for i := range r.Experiments {
+		r.Experiments[i].WallSeconds = 0
+	}
+}
+
+// Fig9Sweep is one configuration's Fig. 9 power sweep in a report.
+type Fig9Sweep struct {
+	Config string
+	Points []Fig9Point
+}
+
+// CrossoverResult is the crossover experiment's single row.
+type CrossoverResult struct {
+	// PowerW is the FP-BNN vs SVM MNIST (Bin) latency-crossover power.
+	PowerW float64
+}
+
+// Experiment is one entry of the mousebench registry: a stable name, a
+// human-readable table printer, and a typed-row producer for JSON
+// reports. workers bounds the sweep pool (<= 0 selects DefaultWorkers).
+type Experiment struct {
+	Name  string
+	Print func(w io.Writer, workers int) error
+	Rows  func(workers int) (any, error)
+}
+
+// Experiments lists every experiment in output order. The names are the
+// mousebench -experiment values and the report row keys; keep them
+// stable across PRs so BENCH_*.json files stay comparable.
+func Experiments() []Experiment {
+	return []Experiment{
+		{
+			Name:  "table1",
+			Print: func(w io.Writer, _ int) error { PrintTableI(w, mtj.ModernSTT()); return nil },
+			Rows:  func(_ int) (any, error) { return ComputeTableI(mtj.ModernSTT()), nil },
+		},
+		{
+			Name:  "table2",
+			Print: func(w io.Writer, _ int) error { PrintTableII(w); return nil },
+			Rows:  func(_ int) (any, error) { return ComputeTableII(), nil },
+		},
+		{
+			Name:  "table3",
+			Print: func(w io.Writer, _ int) error { PrintTableIII(w); return nil },
+			Rows:  func(_ int) (any, error) { return ComputeTableIII(), nil },
+		},
+		{
+			Name:  "table4",
+			Print: func(w io.Writer, workers int) error { PrintTableIV(w, workers); return nil },
+			Rows:  func(workers int) (any, error) { return ComputeTableIV(workers), nil },
+		},
+		{
+			Name: "fig9",
+			Print: func(w io.Writer, workers int) error {
+				for i, cfg := range mtj.Configs() {
+					if i > 0 {
+						fmt.Fprintln(w)
+					}
+					if err := PrintFig9(w, cfg, workers); err != nil {
+						return err
+					}
+				}
+				return nil
+			},
+			Rows: func(workers int) (any, error) {
+				var sweeps []Fig9Sweep
+				for _, cfg := range mtj.Configs() {
+					points, err := ComputeFig9(cfg, Powers(), workers)
+					if err != nil {
+						return nil, err
+					}
+					sweeps = append(sweeps, Fig9Sweep{Config: cfg.Name, Points: points})
+				}
+				return sweeps, nil
+			},
+		},
+		breakdownExperiment("fig10", "Fig. 10", mtj.ModernSTT),
+		breakdownExperiment("fig11", "Fig. 11", mtj.ProjectedSTT),
+		breakdownExperiment("fig12", "Fig. 12", mtj.ProjectedSHE),
+		{
+			Name:  "fft",
+			Print: func(w io.Writer, workers int) error { return PrintFFT(w, workers) },
+			Rows:  func(workers int) (any, error) { return ComputeFFT(workers) },
+		},
+		{
+			Name:  "robustness",
+			Print: func(w io.Writer, workers int) error { PrintRobustness(w, workers); return nil },
+			Rows:  func(workers int) (any, error) { return ComputeRobustness(workers), nil },
+		},
+		{
+			Name: "checkpoint",
+			Print: func(w io.Writer, workers int) error {
+				return PrintCheckpointSweep(w, mtj.ModernSTT(), "SVM ADULT", workers)
+			},
+			Rows: func(workers int) (any, error) {
+				rows, err := ComputeCheckpointSweep(mtj.ModernSTT(), "SVM ADULT", workers)
+				if err != nil {
+					return nil, err
+				}
+				return rows, nil
+			},
+		},
+		{
+			Name:  "parallelism",
+			Print: func(w io.Writer, _ int) error { PrintParallelism(w); return nil },
+			Rows:  func(_ int) (any, error) { return ComputeParallelism(), nil },
+		},
+		{
+			Name: "crossover",
+			Print: func(w io.Writer, workers int) error {
+				p, err := CrossoverPowerW(mtj.ModernSTT(), workers)
+				if err != nil {
+					return err
+				}
+				fmt.Fprintf(w, "FP-BNN vs SVM MNIST (Bin) latency crossover: %.3g W\n", p)
+				fmt.Fprintln(w, "below this power the energy-hungrier FP-BNN is slower; above it its")
+				fmt.Fprintln(w, "higher exploited parallelism wins (Section IX)")
+				return nil
+			},
+			Rows: func(workers int) (any, error) {
+				p, err := CrossoverPowerW(mtj.ModernSTT(), workers)
+				if err != nil {
+					return nil, err
+				}
+				return []CrossoverResult{{PowerW: p}}, nil
+			},
+		},
+	}
+}
+
+// breakdownExperiment builds a Figs. 10–12 registry entry.
+func breakdownExperiment(name, figure string, cfg func() *mtj.Config) Experiment {
+	return Experiment{
+		Name: name,
+		Print: func(w io.Writer, workers int) error {
+			return PrintBreakdown(w, cfg(), 60e-6, figure, workers)
+		},
+		Rows: func(workers int) (any, error) {
+			rows, err := ComputeBreakdown(cfg(), 60e-6, workers)
+			if err != nil {
+				return nil, err
+			}
+			return rows, nil
+		},
+	}
+}
+
+// selectExperiments resolves an -experiment value against the registry.
+func selectExperiments(experiment string) ([]Experiment, error) {
+	all := Experiments()
+	if experiment == "all" {
+		return all, nil
+	}
+	for _, e := range all {
+		if e.Name == experiment {
+			return []Experiment{e}, nil
+		}
+	}
+	return nil, fmt.Errorf("unknown experiment %q", experiment)
+}
+
+// RunPrinted renders the selected experiment (or "all") as the
+// human-readable tables, separated by exactly one blank line, with no
+// leading or trailing blank line.
+func RunPrinted(w io.Writer, experiment string, workers int) error {
+	selected, err := selectExperiments(experiment)
+	if err != nil {
+		return err
+	}
+	for i, e := range selected {
+		if i > 0 {
+			fmt.Fprintln(w)
+		}
+		if err := e.Print(w, workers); err != nil {
+			return fmt.Errorf("%s: %w", e.Name, err)
+		}
+	}
+	return nil
+}
+
+// BuildReport computes the selected experiment's (or "all" experiments')
+// typed rows and wall-clock costs into a Report.
+func BuildReport(experiment string, workers int) (*Report, error) {
+	selected, err := selectExperiments(experiment)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{Schema: Schema, Tool: "mousebench", Parallelism: clampWorkers(workers, 1<<30)}
+	for _, e := range selected {
+		start := time.Now()
+		rows, err := e.Rows(workers)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", e.Name, err)
+		}
+		rep.Experiments = append(rep.Experiments, ExperimentReport{
+			Name:        e.Name,
+			WallSeconds: time.Since(start).Seconds(),
+			Rows:        rows,
+		})
+	}
+	return rep, nil
+}

@@ -1,0 +1,158 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestExperimentRegistryIsComplete(t *testing.T) {
+	want := []string{"table1", "table2", "table3", "table4", "fig9", "fig10",
+		"fig11", "fig12", "fft", "robustness", "checkpoint", "parallelism", "crossover"}
+	exps := Experiments()
+	if len(exps) != len(want) {
+		t.Fatalf("%d experiments, want %d", len(exps), len(want))
+	}
+	for i, e := range exps {
+		if e.Name != want[i] {
+			t.Errorf("experiment %d named %q, want %q", i, e.Name, want[i])
+		}
+		if e.Print == nil || e.Rows == nil {
+			t.Errorf("%s: missing Print or Rows", e.Name)
+		}
+	}
+}
+
+func TestSelectExperiments(t *testing.T) {
+	if _, err := selectExperiments("frobnicate"); err == nil {
+		t.Errorf("unknown experiment accepted")
+	}
+	one, err := selectExperiments("fig11")
+	if err != nil || len(one) != 1 || one[0].Name != "fig11" {
+		t.Fatalf("fig11 selection: %v %v", one, err)
+	}
+	all, err := selectExperiments("all")
+	if err != nil || len(all) != len(Experiments()) {
+		t.Fatalf("all selection: %d %v", len(all), err)
+	}
+}
+
+// TestReportRoundTrip checks the report survives a JSON round trip with
+// the schema fields intact and typed rows preserved structurally —
+// mousebench -json output is consumed by trajectory tooling, not only
+// humans.
+func TestReportRoundTrip(t *testing.T) {
+	rep, err := BuildReport("checkpoint", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != Schema || rep.Tool != "mousebench" || rep.Parallelism != 2 {
+		t.Fatalf("header: %+v", rep)
+	}
+	if len(rep.Experiments) != 1 || rep.Experiments[0].Name != "checkpoint" {
+		t.Fatalf("experiments: %+v", rep.Experiments)
+	}
+	if rep.Experiments[0].WallSeconds <= 0 {
+		t.Errorf("wall clock not recorded")
+	}
+	rows, ok := rep.Experiments[0].Rows.([]CheckpointRow)
+	if !ok || len(rows) != 3 {
+		t.Fatalf("rows: %#v", rep.Experiments[0].Rows)
+	}
+
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded Report
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Schema != Schema || len(decoded.Experiments) != 1 {
+		t.Fatalf("decoded: %+v", decoded)
+	}
+	raw, ok := decoded.Experiments[0].Rows.([]any)
+	if !ok || len(raw) != 3 {
+		t.Fatalf("decoded rows: %#v", decoded.Experiments[0].Rows)
+	}
+	row, ok := raw[0].(map[string]any)
+	if !ok {
+		t.Fatalf("decoded row: %#v", raw[0])
+	}
+	if _, ok := row["Interval"]; !ok {
+		t.Errorf("checkpoint row lost Interval field: %v", row)
+	}
+}
+
+func TestNormalizeStripsRunEnvironment(t *testing.T) {
+	a, err := BuildReport("parallelism", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildReport("parallelism", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a, b) {
+		t.Fatalf("reports with different parallelism should differ before Normalize")
+	}
+	a.Normalize()
+	b.Normalize()
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("normalized reports differ: %+v vs %+v", a, b)
+	}
+}
+
+// TestSeedBaselineReport consumes the committed BENCH_0.json perf
+// baseline: the trajectory file every subsequent PR compares against
+// must stay schema-valid.
+func TestSeedBaselineReport(t *testing.T) {
+	data, err := os.ReadFile("../../BENCH_0.json")
+	if err != nil {
+		t.Fatalf("seed baseline missing: %v", err)
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("BENCH_0.json invalid: %v", err)
+	}
+	if rep.Schema != Schema {
+		t.Errorf("baseline schema %q, want %q", rep.Schema, Schema)
+	}
+	if len(rep.Experiments) != len(Experiments()) {
+		t.Errorf("baseline has %d experiments, registry has %d", len(rep.Experiments), len(Experiments()))
+	}
+	seen := map[string]bool{}
+	for _, e := range rep.Experiments {
+		if e.Name == "" || e.Rows == nil {
+			t.Errorf("baseline experiment incomplete: %+v", e)
+		}
+		if e.WallSeconds < 0 {
+			t.Errorf("%s: negative wall clock", e.Name)
+		}
+		if seen[e.Name] {
+			t.Errorf("duplicate experiment %q", e.Name)
+		}
+		seen[e.Name] = true
+	}
+	for _, e := range Experiments() {
+		if !seen[e.Name] {
+			t.Errorf("baseline missing experiment %q", e.Name)
+		}
+	}
+}
+
+func TestPrintedSeparatorFraming(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunPrinted(&buf, "table2", 1); err != nil {
+		t.Fatal(err)
+	}
+	if strings.HasSuffix(buf.String(), "\n\n") {
+		t.Errorf("single experiment has a trailing blank line")
+	}
+	if err := RunPrinted(&buf, "nope", 1); err == nil {
+		t.Errorf("unknown experiment accepted")
+	}
+}

@@ -182,8 +182,39 @@ type Phase struct {
 	Count int64
 }
 
-// Phases returns the benchmark's full execution recipe.
+// Phases returns the benchmark's full execution recipe. The returned
+// slice is the caller's to mutate; the underlying recipe is memoized.
 func (s Spec) Phases() []Phase {
+	return append([]Phase(nil), s.cachedPhases()...)
+}
+
+// phasesCache memoizes the compiled phase list per benchmark shape, in
+// the same style as the macro-cost cache below: building a recipe
+// probes the real compiler for every macro cost, which is far too
+// expensive to repeat for each of the hundreds of sweep jobs the
+// concurrent benchmark harness runs over the same six specs.
+var (
+	phasesMu    sync.Mutex
+	phasesCache = map[string][]Phase{}
+)
+
+// cachedPhases returns the shared, memoized phase list for s's shape.
+// The result is aliased across callers and must be treated read-only.
+func (s Spec) cachedPhases() []Phase {
+	key := fmt.Sprintf("%d|%d|%d|%d|%d|%v|%d|%d",
+		s.Kind, s.Features, s.InputBits, s.NumSV, s.Classes, s.Hidden, s.MemBytes, s.ParallelBudget)
+	phasesMu.Lock()
+	defer phasesMu.Unlock()
+	if ph, ok := phasesCache[key]; ok {
+		return ph
+	}
+	ph := buildPhases(s)
+	phasesCache[key] = ph
+	return ph
+}
+
+// buildPhases compiles the recipe from scratch (the uncached path).
+func buildPhases(s Spec) []Phase {
 	switch s.Kind {
 	case SVM:
 		return svmPhases(s)
@@ -193,18 +224,31 @@ func (s Spec) Phases() []Phase {
 	panic(fmt.Sprintf("workload: unknown kind %d", s.Kind))
 }
 
+// flushCaches drops the memoized macro costs and phase lists. It exists
+// for benchmarks that need to measure the cold path.
+func flushCaches() {
+	costMu.Lock()
+	costCache = map[string]int{}
+	costMu.Unlock()
+	phasesMu.Lock()
+	phasesCache = map[string][]Phase{}
+	phasesMu.Unlock()
+}
+
 // Instructions returns the total instruction count of one inference.
 func (s Spec) Instructions() int64 {
 	var n int64
-	for _, p := range s.Phases() {
+	for _, p := range s.cachedPhases() {
 		n += p.Count
 	}
 	return n
 }
 
-// Stream returns an OpStream expanding the phases lazily.
+// Stream returns an OpStream expanding the phases lazily. Streams are
+// cheap: concurrent callers share one memoized recipe, each stream
+// carrying only its own cursor.
 func (s Spec) Stream() sim.OpStream {
-	return &phaseStream{phases: s.Phases()}
+	return &phaseStream{phases: s.cachedPhases()}
 }
 
 type phaseStream struct {
