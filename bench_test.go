@@ -219,6 +219,9 @@ func BenchmarkGateEnergyModel(b *testing.B) {
 	_ = e
 }
 
+// BenchmarkTileLogic1024Columns measures the scalar resistor-network
+// path (one network solve + pulse integration per cell) — the engine
+// interrupted operations still use.
 func BenchmarkTileLogic1024Columns(b *testing.B) {
 	tile := array.NewTile(mtj.ModernSTT(), 16, 1024)
 	cols := make([]uint16, 1024)
@@ -233,6 +236,117 @@ func BenchmarkTileLogic1024Columns(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkTileLogicPacked1024Columns measures the packed word-parallel
+// path for the same operation: 64 columns per boolean word step from
+// the memoized gate truth table.
+func BenchmarkTileLogicPacked1024Columns(b *testing.B) {
+	tile := array.NewTile(mtj.ModernSTT(), 16, 1024)
+	cols := make([]uint16, 1024)
+	for i := range cols {
+		cols[i] = uint16(i)
+	}
+	tile.SetActive(cols)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tile.ExecLogicFull(mtj.NAND2, []int{0, 2}, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- packed engine end-to-end: MachineRunner inference, packed vs scalar ---
+
+// benchmarkMachineRunnerSVM runs a full SV-parallel SVM inference on
+// the bit-accurate machine under the MachineRunner (continuous power),
+// with the logic engine pinned to the packed or scalar path. The ratio
+// packed/scalar is the PR 3 headline recorded next to BENCH_1.json.
+func benchmarkMachineRunnerSVM(b *testing.B, forceScalar bool) {
+	ds := dataset.Adult(77, 24, 10)
+	m, err := svm.Train(ds, svm.DefaultTrainConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	im, err := m.Quantize(10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mp, err := svm.CompileParallelMapping(im, 1024, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mach := array.NewMachine(mtj.ModernSTT(), 1, 1024, mp.Columns)
+	mach.ForceScalar = forceScalar
+	for j, rows := range mp.InputRows {
+		for bi, row := range rows {
+			bit := (ds.Test[0].X[j] >> bi) & 1
+			for col := 0; col < mp.Columns; col++ {
+				mach.Tiles[0].SetBit(row, col, bit)
+			}
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := controller.New(controller.ProgramStore(mp.Prog), mach)
+		res, err := sim.NewMachineRunner(c).Run(nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Completed {
+			b.Fatal("run did not complete")
+		}
+	}
+}
+
+func BenchmarkMachineRunnerSVMPacked(b *testing.B) { benchmarkMachineRunnerSVM(b, false) }
+func BenchmarkMachineRunnerSVMScalar(b *testing.B) { benchmarkMachineRunnerSVM(b, true) }
+
+// benchmarkMachineRunnerBNN runs a column-batched BNN inference (64
+// samples per pass) through the MachineRunner, packed vs scalar.
+func benchmarkMachineRunnerBNN(b *testing.B, forceScalar bool) {
+	const feats = 64
+	const batch = 64
+	small := &dataset.Set{Name: "t", NumFeatures: feats, NumClasses: 10}
+	for i := 0; i < 40; i++ {
+		x := make([]int, feats)
+		for j := range x {
+			x[j] = (i*j + j%3) & 1
+		}
+		small.Train = append(small.Train, dataset.Sample{X: x, Label: i % 10})
+	}
+	small.Test = small.Train[:4]
+	cfg := bnn.Config{Name: "t", In: feats, Hidden: []int{16}, Out: 10, InputBits: 1}
+	net, err := bnn.Train(small, cfg, bnn.TrainConfig{Epochs: 2, LR: 0.002, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	mp, err := bnn.CompileMapping(net, 1024, batch)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mach := array.NewMachine(mtj.ModernSTT(), 1, 1024, batch)
+	mach.ForceScalar = forceScalar
+	for col := 0; col < batch; col++ {
+		x := small.Train[col%len(small.Train)].X
+		for i, row := range mp.InputRows {
+			mach.Tiles[0].SetBit(row, col, x[i])
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := controller.New(controller.ProgramStore(mp.Prog), mach)
+		res, err := sim.NewMachineRunner(c).Run(nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Completed {
+			b.Fatal("run did not complete")
+		}
+	}
+}
+
+func BenchmarkMachineRunnerBNNPacked(b *testing.B) { benchmarkMachineRunnerBNN(b, false) }
+func BenchmarkMachineRunnerBNNScalar(b *testing.B) { benchmarkMachineRunnerBNN(b, true) }
 
 func BenchmarkInstructionEncodeDecode(b *testing.B) {
 	in := isa.Logic(mtj.MAJ3, []int{0, 2, 4}, 1)

@@ -6,6 +6,7 @@
 //	mousebench [-experiment all|table1|table2|table3|table4|fig9|fig10|fig11|fig12|
 //	            crossover|robustness|checkpoint|parallelism|fft]
 //	           [-parallel N] [-json] [-out FILE]
+//	           [-cpuprofile FILE] [-memprofile FILE]
 //
 // Each experiment prints the same rows or series the paper reports; see
 // EXPERIMENTS.md for the paper-vs-measured comparison. Grid-shaped
@@ -15,6 +16,11 @@
 // in EXPERIMENTS.md); -out writes the output to a file instead of
 // stdout, e.g. `mousebench -json -out BENCH.json` to record a
 // perf-trajectory snapshot.
+//
+// -cpuprofile and -memprofile write pprof profiles of the selected
+// experiments (CPU sampled across the run; heap captured at the end),
+// so perf PRs can attach `go tool pprof` evidence for the paths they
+// touch.
 package main
 
 import (
@@ -22,6 +28,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"mouse/internal/bench"
 )
@@ -31,6 +39,8 @@ func main() {
 	parallel := flag.Int("parallel", 0, "sweep worker bound; 0 means one per CPU")
 	asJSON := flag.Bool("json", false, "emit a machine-readable report instead of tables")
 	outPath := flag.String("out", "", "write output to this file instead of stdout")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile taken after the run to this file")
 	flag.Parse()
 
 	out := io.Writer(os.Stdout)
@@ -43,10 +53,57 @@ func main() {
 		defer f.Close()
 		out = f
 	}
-	if err := runExperiments(*experiment, out, *parallel, *asJSON); err != nil {
+	stop, err := startProfiles(*cpuProfile, *memProfile)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "mousebench:", err)
 		os.Exit(1)
 	}
+	runErr := runExperiments(*experiment, out, *parallel, *asJSON)
+	if err := stop(); err != nil {
+		fmt.Fprintln(os.Stderr, "mousebench:", err)
+		os.Exit(1)
+	}
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, "mousebench:", runErr)
+		os.Exit(1)
+	}
+}
+
+// startProfiles begins CPU profiling (when requested) and returns a
+// stop function that finishes the CPU profile and snapshots the heap.
+func startProfiles(cpuPath, memPath string) (func() error, error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		cpuFile = f
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return err
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			runtime.GC() // settle allocations so the heap profile reflects live data
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				return err
+			}
+		}
+		return nil
+	}, nil
 }
 
 // runExperiments executes the selected experiment (or all of them) with

@@ -9,15 +9,25 @@
 // volatile state via LoseVolatile; the controller restores it by
 // re-issuing the most recent Activate Columns instruction (Section IV-D).
 //
-// Logic operations execute through the same resistor-network device model
-// used by package mtj, so an interrupted operation (modelled as a
-// truncated or per-column-partial current pulse) behaves exactly like the
-// hardware: outputs either completed their unidirectional switch or were
-// left untouched, and re-performing the operation is always safe.
+// Cell storage is packed: each row is a bit-plane of uint64 words (one
+// bit per column, 1 = AP = logic 1), and the activation latch is a
+// packed mask with a cached popcount. A full, uninterrupted logic pulse
+// reduces to a fixed truth table per (gate, configuration) — derived
+// once from the resistor-network model and memoized by package mtj — so
+// ExecLogicFull executes a gate over 64 columns per boolean word
+// operation, exactly as the hardware's column broadcast does.
+//
+// Interrupted operations (truncated or per-column-partial current
+// pulses) still execute through the scalar resistor-network device
+// model, cell by cell, so outage semantics are untouched: outputs either
+// completed their unidirectional switch or were left alone, and
+// re-performing the operation is always safe. Tests assert the packed
+// and scalar paths are bit-identical.
 package array
 
 import (
 	"fmt"
+	"math/bits"
 
 	"mouse/internal/isa"
 	"mouse/internal/mtj"
@@ -29,11 +39,23 @@ type Tile struct {
 	rows int
 	cols int
 
-	// cells holds the non-volatile MTJ devices, row-major.
-	cells []mtj.Device
+	// wpr is the number of uint64 words per row; tail masks the valid
+	// bits of a row's final word.
+	wpr  int
+	tail uint64
 
-	// active is the volatile peripheral column latch.
-	active []bool
+	// planes holds the non-volatile cell states as packed bit-planes,
+	// row-major: bit c%64 of planes[row*wpr+c/64] is cell (row, c),
+	// 1 = AP = logic 1. Bits at column positions >= cols are always 0.
+	planes []uint64
+
+	// active is the volatile peripheral column latch, packed like a row,
+	// with its popcount cached in nActive.
+	active  []uint64
+	nActive int
+
+	// scratch backs word-parallel row writes (packing + rotation).
+	scratch, scratch2 []uint64
 }
 
 // NewTile creates a rows×cols tile with every cell in the P (0) state and
@@ -42,12 +64,17 @@ func NewTile(cfg *mtj.Config, rows, cols int) *Tile {
 	if rows <= 0 || cols <= 0 || rows > isa.Rows || cols > isa.Cols {
 		panic(fmt.Sprintf("array: bad tile geometry %dx%d", rows, cols))
 	}
+	wpr := wordsFor(cols)
 	return &Tile{
-		cfg:    cfg,
-		rows:   rows,
-		cols:   cols,
-		cells:  make([]mtj.Device, rows*cols),
-		active: make([]bool, cols),
+		cfg:      cfg,
+		rows:     rows,
+		cols:     cols,
+		wpr:      wpr,
+		tail:     tailMask(cols),
+		planes:   make([]uint64, rows*wpr),
+		active:   make([]uint64, wpr),
+		scratch:  make([]uint64, wpr),
+		scratch2: make([]uint64, wpr),
 	}
 }
 
@@ -57,50 +84,78 @@ func (t *Tile) Rows() int { return t.rows }
 // Cols returns the number of columns in the tile.
 func (t *Tile) Cols() int { return t.cols }
 
-func (t *Tile) cell(row, col int) *mtj.Device {
-	return &t.cells[row*t.cols+col]
+// rowWords returns row r's packed bit-plane.
+func (t *Tile) rowWords(r int) []uint64 {
+	return t.planes[r*t.wpr : (r+1)*t.wpr]
+}
+
+func (t *Tile) checkCell(row, col int) {
+	if row < 0 || row >= t.rows || col < 0 || col >= t.cols {
+		panic(fmt.Sprintf("array: cell (%d, %d) outside %dx%d tile", row, col, t.rows, t.cols))
+	}
+}
+
+// state returns the magnetic state of cell (row, col).
+func (t *Tile) state(row, col int) mtj.State {
+	if t.planes[row*t.wpr+col/wordBits]>>(col%wordBits)&1 == 1 {
+		return mtj.AP
+	}
+	return mtj.P
+}
+
+// setState forces cell (row, col) into state s.
+func (t *Tile) setState(row, col int, s mtj.State) {
+	bit := uint64(1) << (col % wordBits)
+	if s == mtj.AP {
+		t.planes[row*t.wpr+col/wordBits] |= bit
+	} else {
+		t.planes[row*t.wpr+col/wordBits] &^= bit
+	}
 }
 
 // Bit returns the logic value stored at (row, col).
-func (t *Tile) Bit(row, col int) int { return t.cell(row, col).Bit() }
+func (t *Tile) Bit(row, col int) int {
+	t.checkCell(row, col)
+	return t.state(row, col).Bit()
+}
 
 // SetBit stores a logic value at (row, col), modelling a completed write.
-func (t *Tile) SetBit(row, col, bit int) { t.cell(row, col).Set(mtj.FromBit(bit)) }
+func (t *Tile) SetBit(row, col, bit int) {
+	t.checkCell(row, col)
+	t.setState(row, col, mtj.FromBit(bit))
+}
 
 // ActiveColumns returns the indices of currently active columns.
 func (t *Tile) ActiveColumns() []int {
-	var out []int
-	for c, a := range t.active {
-		if a {
-			out = append(out, c)
+	out := make([]int, 0, t.nActive)
+	for wi, w := range t.active {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			w &^= 1 << b
+			out = append(out, wi*wordBits+b)
 		}
 	}
 	return out
 }
 
-// ActiveCount returns how many columns are active.
-func (t *Tile) ActiveCount() int {
-	n := 0
-	for _, a := range t.active {
-		if a {
-			n++
-		}
-	}
-	return n
-}
+// ActiveCount returns how many columns are active (cached popcount of
+// the packed latch — O(1), it is read per instruction for energy
+// accounting).
+func (t *Tile) ActiveCount() int { return t.nActive }
 
 // SetActive replaces the tile's active-column latch with exactly the
 // given columns. Columns beyond the tile width are ignored (the decoder
 // simply has no such column).
 func (t *Tile) SetActive(cols []uint16) {
 	for i := range t.active {
-		t.active[i] = false
+		t.active[i] = 0
 	}
 	for _, c := range cols {
 		if int(c) < t.cols {
-			t.active[c] = true
+			t.active[c/wordBits] |= 1 << (c % wordBits)
 		}
 	}
+	t.nActive = popcount(t.active)
 }
 
 // ClearActive deactivates every column.
@@ -119,14 +174,7 @@ func (t *Tile) ReadRow(row int, buf []byte) error {
 	if len(buf)*8 < t.cols {
 		return fmt.Errorf("array: read buffer too small (%d bytes for %d columns)", len(buf), t.cols)
 	}
-	for i := range buf {
-		buf[i] = 0
-	}
-	for c := 0; c < t.cols; c++ {
-		if t.cell(row, c).Bit() == 1 {
-			buf[c/8] |= 1 << (c % 8)
-		}
-	}
+	unpackBytes(buf, t.rowWords(row))
 	return nil
 }
 
@@ -144,6 +192,9 @@ func (t *Tile) WriteRow(row int, buf []byte, upTo int) error {
 // the only horizontal datapath MOUSE has (Section VI's partial-sum
 // moves). The pair stays idempotent across outages because the buffer is
 // non-volatile and the write overwrites unconditionally.
+//
+// The whole operation is word-parallel: the buffer is packed into words,
+// rotated with word shifts, and merged under the interruption mask.
 func (t *Tile) WriteRowRot(row int, buf []byte, rot, upTo int) error {
 	if err := t.checkRow(row); err != nil {
 		return err
@@ -157,13 +208,31 @@ func (t *Tile) WriteRowRot(row int, buf []byte, rot, upTo int) error {
 	if upTo > t.cols {
 		upTo = t.cols
 	}
-	for c := 0; c < upTo; c++ {
-		src := c - rot
-		if src < 0 {
-			src += t.cols
+	if upTo <= 0 {
+		return nil
+	}
+	src := t.scratch
+	packBytes(src, buf, t.cols)
+	if rot != 0 {
+		rotlInto(t.scratch2, src, t.cols, rot)
+		src = t.scratch2
+	}
+	dst := t.rowWords(row)
+	if upTo >= t.cols {
+		copy(dst, src)
+		return nil
+	}
+	// Interrupted write: columns 0..upTo-1 take the new value, the rest
+	// keep theirs.
+	for i := range dst {
+		var m uint64
+		switch base := i * wordBits; {
+		case base+wordBits <= upTo:
+			m = ^uint64(0)
+		case base < upTo:
+			m = 1<<(upTo-base) - 1
 		}
-		bit := int(buf[src/8]>>(src%8)) & 1
-		t.cell(row, c).Set(mtj.FromBit(bit))
+		dst[i] = dst[i]&^m | src[i]&m
 	}
 	return nil
 }
@@ -176,12 +245,29 @@ func (t *Tile) PresetRow(row int, s mtj.State, upTo int) error {
 	if err := t.checkRow(row); err != nil {
 		return err
 	}
-	done := 0
-	for c := 0; c < t.cols && done < upTo; c++ {
-		if t.active[c] {
-			t.cell(row, c).Set(s)
-			done++
+	if upTo <= 0 {
+		return nil
+	}
+	dst := t.rowWords(row)
+	need := upTo
+	for i, w := range t.active {
+		if w == 0 {
+			continue
 		}
+		m := w
+		pc := bits.OnesCount64(w)
+		if pc > need {
+			m = lowestSetBits(w, need)
+		}
+		if s == mtj.AP {
+			dst[i] |= m
+		} else {
+			dst[i] &^= m
+		}
+		if pc >= need {
+			return nil
+		}
+		need -= pc
 	}
 	return nil
 }
@@ -195,12 +281,9 @@ type PulseLength func(col int) float64
 // FullPulse is the uninterrupted pulse profile.
 func FullPulse(int) float64 { return 1.0 }
 
-// ExecLogic performs gate g with the given input rows and output row in
-// every active column, delivering pulse(col) of the switching time to
-// each column. Input and output parities must satisfy the bit-line
-// crossing requirement (validated at the ISA layer; re-checked here).
-func (t *Tile) ExecLogic(g mtj.GateKind, inRows []int, outRow int, pulse PulseLength) error {
-	spec := mtj.Spec(g)
+// checkLogic validates gate arity, row bounds, and the bit-line parity
+// crossing requirement shared by both execution paths.
+func (t *Tile) checkLogic(g mtj.GateKind, spec mtj.GateSpec, inRows []int, outRow int) error {
 	if len(inRows) != spec.Inputs {
 		return fmt.Errorf("array: %s takes %d inputs, got %d", g, spec.Inputs, len(inRows))
 	}
@@ -215,21 +298,117 @@ func (t *Tile) ExecLogic(g mtj.GateKind, inRows []int, outRow int, pulse PulseLe
 			return fmt.Errorf("array: %s: input row %d shares parity with output row %d", g, r, outRow)
 		}
 	}
+	return nil
+}
+
+// ExecLogic performs gate g with the given input rows and output row in
+// every active column, delivering pulse(col) of the switching time to
+// each column. Input and output parities must satisfy the bit-line
+// crossing requirement (validated at the ISA layer; re-checked here).
+//
+// This is the scalar resistor-network path: it solves the network and
+// integrates the switching pulse per cell, so it models arbitrary
+// per-column interruption profiles. Full pulses take the word-parallel
+// ExecLogicFull instead; the two are bit-identical where they overlap.
+func (t *Tile) ExecLogic(g mtj.GateKind, inRows []int, outRow int, pulse PulseLength) error {
+	spec := mtj.Spec(g)
+	if err := t.checkLogic(g, spec, inRows, outRow); err != nil {
+		return err
+	}
 	bias, err := mtj.Bias(g, t.cfg)
 	if err != nil {
 		return err
 	}
 	inputs := make([]mtj.State, spec.Inputs)
-	for c := 0; c < t.cols; c++ {
-		if !t.active[c] {
+	for wi, w := range t.active {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			w &^= 1 << b
+			c := wi*wordBits + b
+			for i, r := range inRows {
+				inputs[i] = t.state(r, c)
+			}
+			i := mtj.DriveCurrent(g, t.cfg, bias, inputs)
+			dur := pulse(c) * t.cfg.P.SwitchTime
+			d := mtj.NewDevice(t.state(outRow, c))
+			d.ApplyPulse(&t.cfg.P, spec.Dir, i, dur)
+			t.setState(outRow, c, d.State())
+		}
+	}
+	return nil
+}
+
+// ExecLogicFull performs gate g with a full, uninterrupted pulse in
+// every active column, 64 columns per boolean word operation. The
+// resistor network collapses to a threshold on the number of P-state
+// inputs (mtj.Table derives and memoizes it), so each word step builds
+// the count-threshold mask from the input bit-planes and switches
+// exactly the active columns that reach it — the word-parallel image of
+// the array's column broadcast.
+func (t *Tile) ExecLogicFull(g mtj.GateKind, inRows []int, outRow int) error {
+	spec := mtj.Spec(g)
+	if err := t.checkLogic(g, spec, inRows, outRow); err != nil {
+		return err
+	}
+	tbl, err := mtj.Table(g, t.cfg)
+	if err != nil {
+		return err
+	}
+	out := t.rowWords(outRow)
+	toAP := tbl.Target == mtj.AP
+	var in0, in1, in2 []uint64
+	switch spec.Inputs {
+	case 3:
+		in2 = t.rowWords(inRows[2])
+		fallthrough
+	case 2:
+		in1 = t.rowWords(inRows[1])
+		fallthrough
+	case 1:
+		in0 = t.rowWords(inRows[0])
+	}
+	for i, act := range t.active {
+		if act == 0 {
 			continue
 		}
-		for i, r := range inRows {
-			inputs[i] = t.cell(r, c).State()
+		// sw: active columns whose P-input count reaches the switching
+		// threshold. Complemented planes count P (logic 0) inputs; tail
+		// garbage from the complement is cleared by the active mask.
+		var sw uint64
+		switch m := tbl.MinSwitchP; {
+		case m <= 0:
+			sw = act
+		case m > spec.Inputs:
+			sw = 0
+		default:
+			switch spec.Inputs {
+			case 1:
+				sw = ^in0[i]
+			case 2:
+				pa, pb := ^in0[i], ^in1[i]
+				if m == 1 {
+					sw = pa | pb
+				} else {
+					sw = pa & pb
+				}
+			case 3:
+				pa, pb, pc := ^in0[i], ^in1[i], ^in2[i]
+				switch m {
+				case 1:
+					sw = pa | pb | pc
+				case 2:
+					sw = pa&(pb|pc) | pb&pc
+				default:
+					sw = pa & pb & pc
+				}
+			}
+			sw &= act
 		}
-		i := mtj.DriveCurrent(g, t.cfg, bias, inputs)
-		dur := pulse(c) * t.cfg.P.SwitchTime
-		t.cell(outRow, c).ApplyPulse(&t.cfg.P, spec.Dir, i, dur)
+		if toAP {
+			out[i] |= sw
+		} else {
+			out[i] &^= sw
+		}
 	}
 	return nil
 }

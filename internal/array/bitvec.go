@@ -1,0 +1,112 @@
+package array
+
+import "math/bits"
+
+// Bit-vector helpers for the packed tile engine. A row (or the
+// activation latch) is a cols-bit vector packed little-endian into
+// uint64 words: column c lives in bit c%64 of word c/64. Every vector
+// maintains the invariant that bits at positions >= cols are zero, so
+// word-wide boolean operations never leak state across the tile edge.
+
+const wordBits = 64
+
+// wordsFor returns how many uint64 words hold a cols-bit vector.
+func wordsFor(cols int) int { return (cols + wordBits - 1) / wordBits }
+
+// tailMask returns the valid-bit mask of the final word of a cols-bit
+// vector.
+func tailMask(cols int) uint64 {
+	if r := cols % wordBits; r != 0 {
+		return 1<<r - 1
+	}
+	return ^uint64(0)
+}
+
+// packBytes packs the low cols bits of buf (LSB of buf[0] is bit 0)
+// into dst, zeroing dst first and masking bits beyond cols.
+func packBytes(dst []uint64, buf []byte, cols int) {
+	for i := range dst {
+		dst[i] = 0
+	}
+	nb := (cols + 7) / 8
+	for i := 0; i < nb; i++ {
+		dst[i/8] |= uint64(buf[i]) << (8 * (i % 8))
+	}
+	dst[len(dst)-1] &= tailMask(cols)
+}
+
+// unpackBytes writes the packed vector src into buf (zeroing all of
+// buf first, matching the sense amplifier clearing the whole buffer).
+func unpackBytes(buf []byte, src []uint64) {
+	for i := range buf {
+		buf[i] = 0
+	}
+	for i := range buf {
+		if i/8 >= len(src) {
+			break
+		}
+		buf[i] = byte(src[i/8] >> (8 * (i % 8)))
+	}
+}
+
+// orShiftLeft ors src<<k into dst (dst and src must not alias).
+func orShiftLeft(dst, src []uint64, k int) {
+	wshift, bshift := k/wordBits, uint(k%wordBits)
+	for i := len(dst) - 1; i >= wshift; i-- {
+		w := src[i-wshift] << bshift
+		if bshift > 0 && i-wshift-1 >= 0 {
+			w |= src[i-wshift-1] >> (wordBits - bshift)
+		}
+		dst[i] |= w
+	}
+}
+
+// orShiftRight ors src>>k into dst (dst and src must not alias).
+func orShiftRight(dst, src []uint64, k int) {
+	wshift, bshift := k/wordBits, uint(k%wordBits)
+	for i := 0; i+wshift < len(src); i++ {
+		w := src[i+wshift] >> bshift
+		if bshift > 0 && i+wshift+1 < len(src) {
+			w |= src[i+wshift+1] << (wordBits - bshift)
+		}
+		dst[i] |= w
+	}
+}
+
+// rotlInto writes the cols-bit left rotation of src by rot into dst:
+// destination bit (i+rot) mod cols receives source bit i. dst and src
+// must not alias; src must respect the tail invariant.
+func rotlInto(dst, src []uint64, cols, rot int) {
+	for i := range dst {
+		dst[i] = 0
+	}
+	if rot == 0 {
+		copy(dst, src)
+		return
+	}
+	orShiftLeft(dst, src, rot)
+	orShiftRight(dst, src, cols-rot)
+	dst[len(dst)-1] &= tailMask(cols)
+}
+
+// popcount returns the number of set bits in the vector.
+func popcount(v []uint64) int {
+	n := 0
+	for _, w := range v {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// lowestSetBits returns the mask of the n lowest set bits of w
+// (all of w when it has fewer than n set bits).
+func lowestSetBits(w uint64, n int) uint64 {
+	if bits.OnesCount64(w) <= n {
+		return w
+	}
+	t := w
+	for i := 0; i < n; i++ {
+		t &= t - 1 // clear the lowest set bit
+	}
+	return w ^ t
+}

@@ -31,6 +31,12 @@ type Machine struct {
 
 	// Buffer is the 128-byte (one-row) memory buffer.
 	Buffer []byte
+
+	// ForceScalar routes full-pulse logic operations through the scalar
+	// per-cell resistor-network path instead of the packed word-parallel
+	// path. Results are bit-identical either way; the knob exists for
+	// differential tests and packed-vs-scalar benchmarks.
+	ForceScalar bool
 }
 
 // NewMachine creates a machine with nTiles tiles of rows×cols cells each.
@@ -133,12 +139,26 @@ func (m *Machine) ExecPartial(in isa.Instruction, p *Partial) error {
 		}
 		return nil
 	case isa.KindLogic:
-		rows := make([]int, in.NumInputs())
+		// Gates take at most 3 inputs (Instruction.In); a stack array
+		// keeps the per-instruction hot path allocation-free.
+		var rowsArr [3]int
+		rows := rowsArr[:in.NumInputs()]
 		for i := range rows {
 			rows[i] = int(in.In[i])
 		}
+		// Fast/slow path split: an uninterrupted operation (no per-column
+		// pulse profile) reduces to the gate's truth table and runs
+		// word-parallel; an interrupted one must integrate the partial
+		// pulse per cell through the resistor network.
+		full := (p == nil || p.Pulse == nil) && !m.ForceScalar
 		for _, t := range m.DataTiles() {
-			if err := t.ExecLogic(in.Gate, rows, int(in.Out), pulse); err != nil {
+			var err error
+			if full {
+				err = t.ExecLogicFull(in.Gate, rows, int(in.Out))
+			} else {
+				err = t.ExecLogic(in.Gate, rows, int(in.Out), pulse)
+			}
+			if err != nil {
 				return err
 			}
 		}

@@ -4,7 +4,9 @@ import (
 	"bytes"
 	"encoding/json"
 	"os"
+	"path/filepath"
 	"reflect"
+	"sort"
 	"strings"
 	"testing"
 )
@@ -106,40 +108,56 @@ func TestNormalizeStripsRunEnvironment(t *testing.T) {
 	}
 }
 
-// TestSeedBaselineReport consumes the committed BENCH_0.json perf
-// baseline: the trajectory file every subsequent PR compares against
-// must stay schema-valid.
+// TestSeedBaselineReport consumes the committed BENCH_*.json perf
+// trajectory: the seed baseline (BENCH_0.json) must exist, and every
+// snapshot a PR adds on top of it must stay schema-valid and cover the
+// full experiment registry, so trajectory files remain comparable
+// across the whole sequence.
 func TestSeedBaselineReport(t *testing.T) {
-	data, err := os.ReadFile("../../BENCH_0.json")
+	paths, err := filepath.Glob("../../BENCH_*.json")
 	if err != nil {
-		t.Fatalf("seed baseline missing: %v", err)
+		t.Fatal(err)
 	}
-	var rep Report
-	if err := json.Unmarshal(data, &rep); err != nil {
-		t.Fatalf("BENCH_0.json invalid: %v", err)
+	if len(paths) == 0 {
+		t.Fatal("seed baseline BENCH_0.json missing")
 	}
-	if rep.Schema != Schema {
-		t.Errorf("baseline schema %q, want %q", rep.Schema, Schema)
+	sort.Strings(paths)
+	if filepath.Base(paths[0]) != "BENCH_0.json" {
+		t.Fatalf("trajectory %v does not start at BENCH_0.json", paths)
 	}
-	if len(rep.Experiments) != len(Experiments()) {
-		t.Errorf("baseline has %d experiments, registry has %d", len(rep.Experiments), len(Experiments()))
-	}
-	seen := map[string]bool{}
-	for _, e := range rep.Experiments {
-		if e.Name == "" || e.Rows == nil {
-			t.Errorf("baseline experiment incomplete: %+v", e)
+	for _, path := range paths {
+		name := filepath.Base(path)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
 		}
-		if e.WallSeconds < 0 {
-			t.Errorf("%s: negative wall clock", e.Name)
+		var rep Report
+		if err := json.Unmarshal(data, &rep); err != nil {
+			t.Fatalf("%s invalid: %v", name, err)
 		}
-		if seen[e.Name] {
-			t.Errorf("duplicate experiment %q", e.Name)
+		if rep.Schema != Schema {
+			t.Errorf("%s: schema %q, want %q", name, rep.Schema, Schema)
 		}
-		seen[e.Name] = true
-	}
-	for _, e := range Experiments() {
-		if !seen[e.Name] {
-			t.Errorf("baseline missing experiment %q", e.Name)
+		if len(rep.Experiments) != len(Experiments()) {
+			t.Errorf("%s has %d experiments, registry has %d", name, len(rep.Experiments), len(Experiments()))
+		}
+		seen := map[string]bool{}
+		for _, e := range rep.Experiments {
+			if e.Name == "" || e.Rows == nil {
+				t.Errorf("%s: experiment incomplete: %+v", name, e)
+			}
+			if e.WallSeconds < 0 {
+				t.Errorf("%s: %s: negative wall clock", name, e.Name)
+			}
+			if seen[e.Name] {
+				t.Errorf("%s: duplicate experiment %q", name, e.Name)
+			}
+			seen[e.Name] = true
+		}
+		for _, e := range Experiments() {
+			if !seen[e.Name] {
+				t.Errorf("%s: missing experiment %q", name, e.Name)
+			}
 		}
 	}
 }

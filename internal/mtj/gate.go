@@ -187,11 +187,22 @@ const biasOverdrive = 1.15
 // (minimizing energy), otherwise the geometric mean of the window
 // (maximizing symmetric noise margin in a narrow window). It returns an
 // error only if the window is empty, which would make the gate
-// unrealizable.
+// unrealizable. The result is memoized per electrical configuration
+// alongside the gate truth table (see Table).
 func Bias(g GateKind, cfg *Config) (float64, error) {
+	e := &tablesFor(cfg).gates[g]
+	if e.infeasible {
+		return 0, infeasibleErr(g, cfg, e.lo, e.hi)
+	}
+	return e.table.Bias, nil
+}
+
+// biasUncached is the direct computation behind Bias; the table cache
+// calls it exactly once per (gate, configuration).
+func biasUncached(g GateKind, cfg *Config) (float64, error) {
 	lo, hi := BiasWindow(g, cfg)
 	if hi <= lo {
-		return 0, fmt.Errorf("mtj: gate %s infeasible for %s: window [%.4g, %.4g) V is empty", g, cfg.Name, lo, hi)
+		return 0, infeasibleErr(g, cfg, lo, hi)
 	}
 	v := lo * biasOverdrive
 	if mid := math.Sqrt(lo * hi); v >= mid {
@@ -226,9 +237,17 @@ func DriveCurrent(g GateKind, cfg *Config, v float64, inputs []State) float64 {
 // GateEnergy returns the electrical energy, in joules, dissipated in one
 // column by one execution of gate g: bias voltage times the current of the
 // threshold (weakest switching) case, for one switching time. Peripheral
-// circuitry overheads are added separately by the energy model.
+// circuitry overheads are added separately by the energy model. The
+// result is memoized per electrical configuration alongside the gate
+// truth table (see Table); infeasible gates report 0.
 func GateEnergy(g GateKind, cfg *Config) float64 {
-	v, err := Bias(g, cfg)
+	return tablesFor(cfg).gates[g].energy
+}
+
+// gateEnergyUncached is the direct computation behind GateEnergy; the
+// table cache calls it exactly once per (gate, configuration).
+func gateEnergyUncached(g GateKind, cfg *Config) float64 {
+	v, err := biasUncached(g, cfg)
 	if err != nil {
 		// All shipped gate/config combinations are feasible; a caller
 		// constructing an exotic config learns about it via Bias.

@@ -1,0 +1,113 @@
+package mtj
+
+import "testing"
+
+// TestTableMatchesThresholdSpec: the truth table derived from the
+// resistor network must coincide with the ideal threshold specification
+// for every gate and every shipped configuration — the same agreement
+// the functional array asserts cell by cell.
+func TestTableMatchesThresholdSpec(t *testing.T) {
+	for _, cfg := range Configs() {
+		for g := GateKind(0); g.Valid(); g++ {
+			tbl, err := Table(g, cfg)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", cfg.Name, g, err)
+			}
+			spec := Spec(g)
+			if tbl.Gate != g || tbl.Inputs != spec.Inputs || tbl.Preset != spec.Preset || tbl.Target != spec.Dir.Target() {
+				t.Errorf("%s/%s: header mismatch: %+v", cfg.Name, g, tbl)
+			}
+			if tbl.MinSwitchP != spec.MinP {
+				t.Errorf("%s/%s: network threshold %d, spec threshold %d", cfg.Name, g, tbl.MinSwitchP, spec.MinP)
+			}
+			for k := 0; k <= spec.Inputs; k++ {
+				if tbl.SwitchAtP[k] != (k >= spec.MinP) {
+					t.Errorf("%s/%s: SwitchAtP[%d] = %v", cfg.Name, g, k, tbl.SwitchAtP[k])
+				}
+			}
+		}
+	}
+}
+
+// TestTableMemoizesBiasAndEnergy: the cached Bias/GateEnergy values the
+// table carries are exactly what the public accessors return, and
+// repeated lookups agree (the cache is keyed by electrical parameters,
+// so a renamed copy of a config shares the same derivation).
+func TestTableMemoizesBiasAndEnergy(t *testing.T) {
+	cfg := ModernSTT()
+	renamed := *cfg
+	renamed.Name = "Renamed copy"
+	for g := GateKind(0); g.Valid(); g++ {
+		tbl, err := Table(g, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, err := Bias(g, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tbl.Bias != v {
+			t.Errorf("%s: table bias %g, Bias() %g", g, tbl.Bias, v)
+		}
+		if e := GateEnergy(g, cfg); tbl.Energy != e {
+			t.Errorf("%s: table energy %g, GateEnergy() %g", g, tbl.Energy, e)
+		}
+		tbl2, err := Table(g, &renamed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tbl != tbl2 {
+			t.Errorf("%s: renamed electrical twin derived a different table", g)
+		}
+	}
+}
+
+// TestTableScaledConfigGetsFreshEntry: mutating the electrical
+// parameters (as the variation study does) must not reuse a stale cache
+// entry.
+func TestTableScaledConfigGetsFreshEntry(t *testing.T) {
+	cfg := ModernSTT()
+	base, err := Bias(NAND2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scaled := *cfg
+	scaled.P.RP *= 1.1
+	scaled.P.RAP *= 1.1
+	v, err := Bias(NAND2, &scaled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v == base {
+		t.Errorf("scaled config returned the unscaled bias %g", v)
+	}
+}
+
+// TestTableDrivesSameSwitchDecisionAsNetwork cross-checks the memoized
+// threshold against a direct DriveCurrent evaluation for every input
+// pattern (not just the canonical k-P orderings used in derivation).
+func TestTableDrivesSameSwitchDecisionAsNetwork(t *testing.T) {
+	for _, cfg := range Configs() {
+		for g := GateKind(0); g.Valid(); g++ {
+			tbl, err := Table(g, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			n := tbl.Inputs
+			for v := 0; v < 1<<n; v++ {
+				inputs := make([]State, n)
+				p := 0
+				for i := range inputs {
+					inputs[i] = FromBit(v >> i & 1)
+					if inputs[i] == P {
+						p++
+					}
+				}
+				net := DriveCurrent(g, cfg, tbl.Bias, inputs) >= cfg.P.SwitchCurrent
+				if net != (p >= tbl.MinSwitchP) {
+					t.Errorf("%s/%s inputs %v: network switch %v, table %v", cfg.Name, g, inputs, net, p >= tbl.MinSwitchP)
+				}
+			}
+		}
+	}
+}

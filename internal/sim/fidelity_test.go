@@ -43,8 +43,9 @@ func TestFullFidelityStack(t *testing.T) {
 	sample := []int{1, 0, 1, 1, 0, 0, 1, 0, // row 0
 		0, 1, 1, 0, 1, 0, 1, 0} // row 1
 
-	runOnce := func(useTiles bool, h *power.Harvester) (*array.Machine, Result) {
+	runOnce := func(useTiles, forceScalar bool, h *power.Harvester) (*array.Machine, Result) {
 		m := array.NewMachine(cfg, 1, 32, 8)
+		m.ForceScalar = forceScalar
 		sensor := array.NewSensorBuffer(cfg, 2, 8)
 		if got := m.AttachSensor(sensor); got != 1 {
 			t.Fatalf("sensor tile at %d", got)
@@ -70,22 +71,89 @@ func TestFullFidelityStack(t *testing.T) {
 		return m, res
 	}
 
-	ref, _ := runOnce(false, nil)
-	starved := power.NewHarvester(power.Constant{W: 1.5e-6}, 2.5e-9, cfg.CapVMin, cfg.CapVMax)
-	got, res := runOnce(true, starved)
-	if res.Restarts == 0 {
-		t.Fatalf("starved run saw no outages")
-	}
+	ref, _ := runOnce(false, false, nil)
+	// Run the starved stack through both engines: the packed
+	// word-parallel fast path (production) and the scalar
+	// resistor-network path (ForceScalar). Both must see outages and both
+	// must land on identical cell state.
+	for _, forceScalar := range []bool{false, true} {
+		starved := power.NewHarvester(power.Constant{W: 1.5e-6}, 2.5e-9, cfg.CapVMin, cfg.CapVMax)
+		got, res := runOnce(true, forceScalar, starved)
+		if res.Restarts == 0 {
+			t.Fatalf("starved run (forceScalar=%v) saw no outages", forceScalar)
+		}
 
-	for col := 0; col < 8; col++ {
-		for _, row := range []int{0, 2, xor.Row, nand.Row} {
-			if got.Tiles[0].Bit(row, col) != ref.Tiles[0].Bit(row, col) {
-				t.Fatalf("row %d col %d diverged (restarts=%d)", row, col, res.Restarts)
+		for col := 0; col < 8; col++ {
+			for _, row := range []int{0, 2, xor.Row, nand.Row} {
+				if got.Tiles[0].Bit(row, col) != ref.Tiles[0].Bit(row, col) {
+					t.Fatalf("forceScalar=%v: row %d col %d diverged (restarts=%d)", forceScalar, row, col, res.Restarts)
+				}
+			}
+			wantXor := sample[col] ^ sample[8+col]
+			if got.Tiles[0].Bit(xor.Row, col) != wantXor {
+				t.Fatalf("col %d: xor = %d, want %d", col, got.Tiles[0].Bit(xor.Row, col), wantXor)
 			}
 		}
-		wantXor := sample[col] ^ sample[8+col]
-		if got.Tiles[0].Bit(xor.Row, col) != wantXor {
-			t.Fatalf("col %d: xor = %d, want %d", col, got.Tiles[0].Bit(xor.Row, col), wantXor)
+	}
+}
+
+// TestPackedAndScalarRunsAreByteIdentical runs a full starved
+// MachineRunner workload twice — packed fast path vs ForceScalar — and
+// requires the entire simulation outcome to match exactly: every cell
+// of every tile, the memory buffer, and the complete energy/latency
+// breakdown.
+func TestPackedAndScalarRunsAreByteIdentical(t *testing.T) {
+	cfg := mtj.ModernSTT()
+	b := compile.NewBuilder(64)
+	b.ActivateBroadcast([]uint16{0, 1, 2, 3, 4, 5, 6, 7})
+	x := b.AllocWord(6, 0)
+	y := b.AllocWord(6, 0)
+	b.MulWords(x, y)
+	prog, err := b.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	run := func(forceScalar bool) (*array.Machine, Result) {
+		m := array.NewMachine(cfg, 2, 64, 8)
+		m.ForceScalar = forceScalar
+		for c := 0; c < 8; c++ {
+			for i, w := range x {
+				m.Tiles[0].SetBit(w.Row, c, (c*3+5)>>i&1)
+			}
+			for i, w := range y {
+				m.Tiles[0].SetBit(w.Row, c, (c+9)>>i&1)
+			}
+		}
+		ctrl := controller.New(controller.ProgramStore(prog), m)
+		h := power.NewHarvester(power.Constant{W: 1.2e-6}, 2.5e-9, cfg.CapVMin, cfg.CapVMax)
+		res, err := NewMachineRunner(ctrl).Run(h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m, res
+	}
+
+	mp, rp := run(false)
+	ms, rs := run(true)
+	if rp.Restarts == 0 {
+		t.Fatalf("starved run saw no outages")
+	}
+	if rp != rs {
+		t.Fatalf("results diverge:\npacked %+v\nscalar %+v", rp, rs)
+	}
+	for ti := range mp.Tiles {
+		for r := 0; r < mp.Tiles[ti].Rows(); r++ {
+			for c := 0; c < mp.Tiles[ti].Cols(); c++ {
+				if mp.Tiles[ti].Bit(r, c) != ms.Tiles[ti].Bit(r, c) {
+					t.Fatalf("tile %d cell (%d,%d): packed %d scalar %d", ti, r, c, mp.Tiles[ti].Bit(r, c), ms.Tiles[ti].Bit(r, c))
+				}
+			}
+		}
+	}
+	for i := range mp.Buffer {
+		if mp.Buffer[i] != ms.Buffer[i] {
+			t.Fatalf("buffer byte %d: packed %x scalar %x", i, mp.Buffer[i], ms.Buffer[i])
 		}
 	}
 }

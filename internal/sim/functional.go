@@ -8,6 +8,7 @@ import (
 	"mouse/internal/controller"
 	"mouse/internal/energy"
 	"mouse/internal/isa"
+	"mouse/internal/mtj"
 	"mouse/internal/power"
 )
 
@@ -17,6 +18,18 @@ import (
 // ran out, reboots the controller through its restore protocol, and
 // resumes — an end-to-end demonstration that computation survives
 // arbitrary interruption (Section V).
+//
+// Fast/slow path selection: cycles that complete in full step through
+// the machine with no Partial, so logic operations take the packed
+// word-parallel truth-table engine (array.Tile.ExecLogicFull). Only a
+// cycle that dies inside PhaseExecute carries a per-column pulse profile
+// (see phaseFor) and drops to the scalar resistor-network path, which
+// integrates the partial pulse cell by cell. The two paths are
+// bit-identical for full pulses — fidelity tests run entire starved
+// workloads both ways and require byte-identical results — so outage
+// semantics are exactly the seed's while the common case runs 64
+// columns per word operation. Setting Machine.ForceScalar pins the
+// scalar path for differential tests and benchmarks.
 type MachineRunner struct {
 	C     *controller.Controller
 	Model *energy.Model
@@ -77,12 +90,103 @@ func phaseFor(frac float64) (controller.Phase, *array.Partial) {
 	}
 }
 
+// priced is one Op's cycle cost, cached per Run: compute energy, backup
+// energy, and converter level.
+type priced struct {
+	compute, backup float64
+	level           int
+}
+
+// opPricer caches the energy model's per-Op answers for the duration of
+// one run. A program prices only a handful of distinct Ops (one per gate
+// at the current activation width, plus the memory and ACT shapes), but
+// the run loop consults the model for every instruction of every
+// restart; hashing Ops through a map was itself a hot spot, so the cache
+// is direct-indexed — one slot per gate keyed by the pair count, and one
+// slot per remaining kind. Cached values are the Model's own outputs, so
+// accounting stays bit-identical to calling the Model each cycle.
+type opPricer struct {
+	m *energy.Model
+
+	logic      [mtj.NumGates]priced
+	logicPairs [mtj.NumGates]int // -1 = empty
+
+	preset      priced
+	presetPairs int // -1 = empty
+
+	act     priced
+	actCols int // -1 = empty
+
+	read, write, other       priced
+	readOK, writeOK, otherOK bool
+}
+
+func newOpPricer(m *energy.Model) *opPricer {
+	p := &opPricer{m: m, presetPairs: -1, actCols: -1}
+	for i := range p.logicPairs {
+		p.logicPairs[i] = -1
+	}
+	return p
+}
+
+func (p *opPricer) compute(op energy.Op) priced {
+	return priced{
+		compute: p.m.Energy(op),
+		backup:  p.m.Backup(op),
+		level:   p.m.Level(op),
+	}
+}
+
+func (p *opPricer) price(op energy.Op) priced {
+	switch op.Kind {
+	case isa.KindLogic:
+		if p.logicPairs[op.Gate] != op.ActivePairs {
+			p.logic[op.Gate] = p.compute(op)
+			p.logicPairs[op.Gate] = op.ActivePairs
+		}
+		return p.logic[op.Gate]
+	case isa.KindPreset:
+		if p.presetPairs != op.ActivePairs {
+			p.preset = p.compute(op)
+			p.presetPairs = op.ActivePairs
+		}
+		return p.preset
+	case isa.KindAct:
+		if p.actCols != op.ActCols {
+			p.act = p.compute(op)
+			p.actCols = op.ActCols
+		}
+		return p.act
+	case isa.KindRead:
+		if !p.readOK {
+			p.read = p.compute(op)
+			p.readOK = true
+		}
+		return p.read
+	case isa.KindWrite:
+		if !p.writeOK {
+			p.write = p.compute(op)
+			p.writeOK = true
+		}
+		return p.write
+	default:
+		// Every remaining kind prices as fetch-only with the common
+		// backup cost and no array bias level.
+		if !p.otherOK {
+			p.other = p.compute(op)
+			p.otherOK = true
+		}
+		return p.other
+	}
+}
+
 // Run executes the program to completion under harvester h (or under
 // continuous power if h is nil), returning the EH-model accounting.
 func (r *MachineRunner) Run(h *power.Harvester) (Result, error) {
 	var b energy.Breakdown
 	dt := r.Model.CycleTime()
 	lastLevel := 0
+	pricer := newOpPricer(r.Model)
 
 	if h != nil {
 		off, err := h.ChargeUntilOn(r.MaxChargeWait)
@@ -99,7 +203,8 @@ func (r *MachineRunner) Run(h *power.Harvester) (Result, error) {
 			return Result{Breakdown: b, Completed: true}, nil
 		}
 		op := r.opFor(in)
-		e := r.Model.Energy(op) + r.Model.Backup(op)
+		p := pricer.price(op)
+		e := p.compute + p.backup
 
 		frac := 1.0
 		if h != nil {
@@ -113,18 +218,18 @@ func (r *MachineRunner) Run(h *power.Harvester) (Result, error) {
 			if retry {
 				// Re-execution after a restart is Dead work (the paper's
 				// "repeating the last instruction on restart").
-				b.DeadEnergy += r.Model.Energy(op)
+				b.DeadEnergy += p.compute
 				b.DeadLatency += dt
 			} else {
-				b.ComputeEnergy += r.Model.Energy(op)
+				b.ComputeEnergy += p.compute
 			}
 			retry = false
-			b.BackupEnergy += r.Model.Backup(op)
+			b.BackupEnergy += p.backup
 			b.OnLatency += dt
 			b.Instructions++
-			if lv := r.Model.Level(op); lv >= 0 && lv != lastLevel {
+			if p.level >= 0 && p.level != lastLevel {
 				b.LevelSwitches++
-				lastLevel = lv
+				lastLevel = p.level
 			}
 			if done {
 				return Result{Breakdown: b, Completed: true}, nil
