@@ -257,23 +257,24 @@ func BenchmarkTileLogicPacked1024Columns(b *testing.B) {
 
 // --- packed engine end-to-end: MachineRunner inference, packed vs scalar ---
 
-// benchmarkMachineRunnerSVM runs a full SV-parallel SVM inference on
-// the bit-accurate machine under the MachineRunner (continuous power),
-// with the logic engine pinned to the packed or scalar path. The ratio
-// packed/scalar is the PR 3 headline recorded next to BENCH_1.json.
-func benchmarkMachineRunnerSVM(b *testing.B, forceScalar bool) {
+// setupSVMMachine trains the ADULT SVM workload and maps it onto a
+// bit-accurate machine with the first test sample loaded, returning the
+// machine and its program. Shared by the packed-vs-scalar benchmarks
+// and the observer-overhead smoke test.
+func setupSVMMachine(tb testing.TB, forceScalar bool) (*array.Machine, isa.Program) {
+	tb.Helper()
 	ds := dataset.Adult(77, 24, 10)
 	m, err := svm.Train(ds, svm.DefaultTrainConfig())
 	if err != nil {
-		b.Fatal(err)
+		tb.Fatal(err)
 	}
 	im, err := m.Quantize(10)
 	if err != nil {
-		b.Fatal(err)
+		tb.Fatal(err)
 	}
 	mp, err := svm.CompileParallelMapping(im, 1024, 8)
 	if err != nil {
-		b.Fatal(err)
+		tb.Fatal(err)
 	}
 	mach := array.NewMachine(mtj.ModernSTT(), 1, 1024, mp.Columns)
 	mach.ForceScalar = forceScalar
@@ -285,9 +286,18 @@ func benchmarkMachineRunnerSVM(b *testing.B, forceScalar bool) {
 			}
 		}
 	}
+	return mach, mp.Prog
+}
+
+// benchmarkMachineRunnerSVM runs a full SV-parallel SVM inference on
+// the bit-accurate machine under the MachineRunner (continuous power),
+// with the logic engine pinned to the packed or scalar path. The ratio
+// packed/scalar is the PR 3 headline recorded next to BENCH_1.json.
+func benchmarkMachineRunnerSVM(b *testing.B, forceScalar bool) {
+	mach, prog := setupSVMMachine(b, forceScalar)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		c := controller.New(controller.ProgramStore(mp.Prog), mach)
+		c := controller.New(controller.ProgramStore(prog), mach)
 		res, err := sim.NewMachineRunner(c).Run(nil)
 		if err != nil {
 			b.Fatal(err)

@@ -5,7 +5,7 @@
 //
 //	mousebench [-experiment all|table1|table2|table3|table4|fig9|fig10|fig11|fig12|
 //	            crossover|robustness|checkpoint|parallelism|fft]
-//	           [-parallel N] [-json] [-out FILE]
+//	           [-parallel N] [-json] [-telemetry] [-out FILE]
 //	           [-cpuprofile FILE] [-memprofile FILE]
 //
 // Each experiment prints the same rows or series the paper reports; see
@@ -16,6 +16,11 @@
 // in EXPERIMENTS.md); -out writes the output to a file instead of
 // stdout, e.g. `mousebench -json -out BENCH.json` to record a
 // perf-trajectory snapshot.
+//
+// -telemetry attaches a shared probe.Stats observer to every simulation
+// the selected experiments run: with -json the report gains the
+// optional "telemetry" section (replays, outage durations, energy by
+// phase); in table mode a summary block is appended after the tables.
 //
 // -cpuprofile and -memprofile write pprof profiles of the selected
 // experiments (CPU sampled across the run; heap captured at the end),
@@ -32,12 +37,14 @@ import (
 	"runtime/pprof"
 
 	"mouse/internal/bench"
+	"mouse/internal/probe"
 )
 
 func main() {
 	experiment := flag.String("experiment", "all", "which experiment to run")
 	parallel := flag.Int("parallel", 0, "sweep worker bound; 0 means one per CPU")
 	asJSON := flag.Bool("json", false, "emit a machine-readable report instead of tables")
+	telemetry := flag.Bool("telemetry", false, "collect run telemetry (replays, outages, energy by phase)")
 	outPath := flag.String("out", "", "write output to this file instead of stdout")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile taken after the run to this file")
@@ -58,7 +65,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "mousebench:", err)
 		os.Exit(1)
 	}
-	runErr := runExperiments(*experiment, out, *parallel, *asJSON)
+	runErr := runExperiments(*experiment, out, *parallel, *asJSON, *telemetry)
 	if err := stop(); err != nil {
 		fmt.Fprintln(os.Stderr, "mousebench:", err)
 		os.Exit(1)
@@ -108,14 +115,30 @@ func startProfiles(cpuPath, memPath string) (func() error, error) {
 
 // runExperiments executes the selected experiment (or all of them) with
 // the given sweep-worker bound, writing tables — or, with asJSON, the
-// structured report — to out.
-func runExperiments(experiment string, out io.Writer, workers int, asJSON bool) error {
+// structured report — to out. telemetry attaches a shared probe.Stats
+// to every simulation and reports its totals.
+func runExperiments(experiment string, out io.Writer, workers int, asJSON, telemetry bool) error {
 	if asJSON {
-		rep, err := bench.BuildReport(experiment, workers)
+		var rep *bench.Report
+		var err error
+		if telemetry {
+			rep, err = bench.BuildTelemetryReport(experiment, workers)
+		} else {
+			rep, err = bench.BuildReport(experiment, workers)
+		}
 		if err != nil {
 			return err
 		}
 		return rep.WriteJSON(out)
+	}
+	if telemetry {
+		stats := &probe.Stats{}
+		if err := bench.RunPrinted(out, experiment, workers, stats); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+		fmt.Fprintln(out, "Telemetry — totals across every simulation above")
+		return stats.Section().WriteSummary(out)
 	}
 	return bench.RunPrinted(out, experiment, workers)
 }

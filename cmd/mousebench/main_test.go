@@ -25,7 +25,7 @@ func TestRunSingleExperiments(t *testing.T) {
 	}
 	for exp, want := range cases {
 		var out bytes.Buffer
-		if err := runExperiments(exp, &out, 1, false); err != nil {
+		if err := runExperiments(exp, &out, 1, false, false); err != nil {
 			t.Fatalf("%s: %v", exp, err)
 		}
 		if !strings.Contains(out.String(), want) {
@@ -36,10 +36,10 @@ func TestRunSingleExperiments(t *testing.T) {
 
 func TestRunUnknownExperiment(t *testing.T) {
 	var out bytes.Buffer
-	if err := runExperiments("frobnicate", &out, 1, false); err == nil {
+	if err := runExperiments("frobnicate", &out, 1, false, false); err == nil {
 		t.Fatalf("unknown experiment accepted")
 	}
-	if err := runExperiments("frobnicate", &out, 1, true); err == nil {
+	if err := runExperiments("frobnicate", &out, 1, true, false); err == nil {
 		t.Fatalf("unknown experiment accepted in JSON mode")
 	}
 }
@@ -50,7 +50,7 @@ func TestRunUnknownExperiment(t *testing.T) {
 // exactly one blank line.
 func TestOutputIsExactlyTheSelectedExperiment(t *testing.T) {
 	var single bytes.Buffer
-	if err := runExperiments("table2", &single, 1, false); err != nil {
+	if err := runExperiments("table2", &single, 1, false, false); err != nil {
 		t.Fatal(err)
 	}
 	out := single.String()
@@ -68,7 +68,7 @@ func TestOutputIsExactlyTheSelectedExperiment(t *testing.T) {
 		if i > 0 {
 			stitched.WriteString("\n")
 		}
-		if err := runExperiments(exp, &stitched, 1, false); err != nil {
+		if err := runExperiments(exp, &stitched, 1, false, false); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -83,7 +83,7 @@ func TestOutputIsExactlyTheSelectedExperiment(t *testing.T) {
 func TestDeterministicTables(t *testing.T) {
 	render := func(workers int) string {
 		var out bytes.Buffer
-		if err := runExperiments("all", &out, workers, false); err != nil {
+		if err := runExperiments("all", &out, workers, false, false); err != nil {
 			t.Fatal(err)
 		}
 		return out.String()
@@ -131,7 +131,7 @@ func TestDeterministicJSONReports(t *testing.T) {
 // TestJSONModeEmitsValidReport exercises the -json path end to end.
 func TestJSONModeEmitsValidReport(t *testing.T) {
 	var out bytes.Buffer
-	if err := runExperiments("table3", &out, 2, true); err != nil {
+	if err := runExperiments("table3", &out, 2, true, false); err != nil {
 		t.Fatal(err)
 	}
 	var rep bench.Report

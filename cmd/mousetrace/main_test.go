@@ -1,0 +1,149 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden trace files")
+
+// goldenArgs is the small starved custom-SVM run the golden trace pins:
+// a constant source weak enough to brown the run out tens of times, so
+// the trace exercises every event type (charge, outages, interrupts,
+// restores, replays, voltage samples). The simulation clock is fully
+// deterministic and the writer formats timestamps with fixed precision,
+// so the trace bytes are stable across platforms.
+func goldenArgs(out string) []string {
+	return []string{
+		"-workload", "custom", "-features", "4", "-bits", "1", "-sv", "2",
+		"-classes", "2", "-source", "constant", "-power", "1.5e-6",
+		"-cap", "1e-7", "-vsample", "1e-4", "-out", out,
+	}
+}
+
+func TestTraceGolden(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "trace.json")
+	var stdout bytes.Buffer
+	if err := run(goldenArgs(out), &stdout); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	golden := filepath.Join("testdata", "custom-svm-starved.trace.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("trace differs from %s (run with -update to regenerate); got %d bytes, want %d",
+			golden, len(got), len(want))
+	}
+
+	for _, line := range []string{"instructions", "outages", "replayed", "capacitor"} {
+		if !strings.Contains(stdout.String(), line) {
+			t.Errorf("summary missing %q:\n%s", line, stdout.String())
+		}
+	}
+}
+
+// TestTraceSchema walks every event of a generated trace and checks the
+// Chrome trace_event invariants Perfetto relies on: a known phase, the
+// single mouse process, non-negative monotonic-format timestamps, and
+// the fields each phase requires.
+func TestTraceSchema(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "trace.json")
+	if err := run(goldenArgs(out), &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var doc struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Ph   string         `json:"ph"`
+			PID  int            `json:"pid"`
+			TID  int            `json:"tid"`
+			Name string         `json:"name"`
+			TS   *float64       `json:"ts"`
+			Dur  *float64       `json:"dur"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit %q", doc.DisplayTimeUnit)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("empty trace")
+	}
+	seen := map[string]int{}
+	for i, ev := range doc.TraceEvents {
+		seen[ev.Ph]++
+		if ev.PID != 1 {
+			t.Fatalf("event %d: pid %d, want 1", i, ev.PID)
+		}
+		if ev.Name == "" {
+			t.Fatalf("event %d: empty name", i)
+		}
+		switch ev.Ph {
+		case "M":
+			if ev.Args == nil {
+				t.Fatalf("event %d: metadata without args", i)
+			}
+		case "X":
+			if ev.TS == nil || ev.Dur == nil {
+				t.Fatalf("event %d (%s): span missing ts/dur", i, ev.Name)
+			}
+			if *ev.TS < 0 || *ev.Dur < 0 {
+				t.Fatalf("event %d (%s): negative ts %g / dur %g", i, ev.Name, *ev.TS, *ev.Dur)
+			}
+		case "i", "C":
+			if ev.TS == nil || *ev.TS < 0 {
+				t.Fatalf("event %d (%s): instant/counter without a valid ts", i, ev.Name)
+			}
+		default:
+			t.Fatalf("event %d: unknown phase %q", i, ev.Ph)
+		}
+	}
+	// A starved run must populate every track.
+	for _, ph := range []string{"M", "X", "i", "C"} {
+		if seen[ph] == 0 {
+			t.Errorf("no %q events in a starved run: %v", ph, seen)
+		}
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	cases := [][]string{
+		{"-config", "nonsense"},
+		{"-source", "nonsense"},
+		{"-workload", "nonsense"},
+		{"positional"},
+	}
+	for _, args := range cases {
+		if err := run(args, &bytes.Buffer{}); err == nil {
+			t.Errorf("run(%v) accepted bad input", args)
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"mouse/internal/isa"
 	"mouse/internal/mtj"
+	"mouse/internal/probe"
 )
 
 // Machine is the full MOUSE datapath: the set of data tiles plus the
@@ -37,6 +38,12 @@ type Machine struct {
 	// path. Results are bit-identical either way; the knob exists for
 	// differential tests and packed-vs-scalar benchmarks.
 	ForceScalar bool
+
+	// Obs receives per-tile write events for wear accounting (writes,
+	// presets, and logic output pulses all stress cells). Both logic
+	// paths report identical events — the packed/scalar split changes
+	// how cells are computed, never how many are touched. Nil disables.
+	Obs probe.Observer
 }
 
 // NewMachine creates a machine with nTiles tiles of rows×cols cells each.
@@ -130,11 +137,20 @@ func (m *Machine) ExecPartial(in isa.Instruction, p *Partial) error {
 			// actual width.
 			rot %= t.Cols()
 		}
-		return t.WriteRowRot(int(in.Row), m.Buffer, rot, cols)
+		if err := t.WriteRowRot(int(in.Row), m.Buffer, rot, cols); err != nil {
+			return err
+		}
+		if m.Obs != nil {
+			m.Obs.TileWrite(int(in.Tile), clampCols(cols, t.Cols()))
+		}
+		return nil
 	case isa.KindPreset:
-		for _, t := range m.DataTiles() {
+		for i, t := range m.DataTiles() {
 			if err := t.PresetRow(int(in.Row), in.Value, cols); err != nil {
 				return err
+			}
+			if m.Obs != nil {
+				m.Obs.TileWrite(i, clampCols(cols, t.ActiveCount()))
 			}
 		}
 		return nil
@@ -151,7 +167,7 @@ func (m *Machine) ExecPartial(in isa.Instruction, p *Partial) error {
 		// word-parallel; an interrupted one must integrate the partial
 		// pulse per cell through the resistor network.
 		full := (p == nil || p.Pulse == nil) && !m.ForceScalar
-		for _, t := range m.DataTiles() {
+		for i, t := range m.DataTiles() {
 			var err error
 			if full {
 				err = t.ExecLogicFull(in.Gate, rows, int(in.Out))
@@ -161,12 +177,26 @@ func (m *Machine) ExecPartial(in isa.Instruction, p *Partial) error {
 			if err != nil {
 				return err
 			}
+			// Wear: the output row's cell is pulsed in every active
+			// column — reported identically by both logic paths.
+			if m.Obs != nil {
+				m.Obs.TileWrite(i, t.ActiveCount())
+			}
 		}
 		return nil
 	case isa.KindAct:
 		return m.Activate(in)
 	}
 	return fmt.Errorf("array: unknown instruction kind %d", uint8(in.Kind))
+}
+
+// clampCols bounds a Partial's column limit to the cells actually
+// touched in one tile.
+func clampCols(cols, touched int) int {
+	if cols < touched {
+		return cols
+	}
+	return touched
 }
 
 // Activate applies an Activate Columns instruction: the machine-wide

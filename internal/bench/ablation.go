@@ -10,6 +10,7 @@ import (
 	"mouse/internal/isa"
 	"mouse/internal/mtj"
 	"mouse/internal/power"
+	"mouse/internal/probe"
 	"mouse/internal/sim"
 	"mouse/internal/workload"
 )
@@ -68,7 +69,7 @@ type CheckpointRow struct {
 // ComputeCheckpointSweep runs a benchmark at 60 µW with checkpoint
 // intervals of 1 (MOUSE's design point), 8 and 64 instructions — the
 // frequency trade-off of Section IV-D. One pool job per interval.
-func ComputeCheckpointSweep(cfg *mtj.Config, benchmark string, workers int) ([]CheckpointRow, error) {
+func ComputeCheckpointSweep(cfg *mtj.Config, benchmark string, workers int, obs ...probe.Observer) ([]CheckpointRow, error) {
 	spec, err := workload.ByName(benchmark)
 	if err != nil {
 		return nil, err
@@ -77,6 +78,7 @@ func ComputeCheckpointSweep(cfg *mtj.Config, benchmark string, workers int) ([]C
 	return runJobs(workers, len(intervals), func(i int) (CheckpointRow, error) {
 		interval := intervals[i]
 		r := sim.NewRunner(energy.NewModel(cfg))
+		r.Obs = probe.First(obs)
 		h := power.NewHarvester(power.Constant{W: 60e-6}, cfg.CapC, cfg.CapVMin, cfg.CapVMax)
 		res, err := r.RunWithCheckpointInterval(spec.Stream(), h, interval)
 		if err != nil {
@@ -87,8 +89,8 @@ func ComputeCheckpointSweep(cfg *mtj.Config, benchmark string, workers int) ([]C
 }
 
 // PrintCheckpointSweep renders the checkpoint-interval ablation.
-func PrintCheckpointSweep(w io.Writer, cfg *mtj.Config, benchmark string, workers int) error {
-	rows, err := ComputeCheckpointSweep(cfg, benchmark, workers)
+func PrintCheckpointSweep(w io.Writer, cfg *mtj.Config, benchmark string, workers int, obs ...probe.Observer) error {
+	rows, err := ComputeCheckpointSweep(cfg, benchmark, workers, obs...)
 	if err != nil {
 		return err
 	}
@@ -154,7 +156,7 @@ type FFTRow struct {
 // ComputeFFT runs the CRAFFT-style 1024-point FFT workload on each MOUSE
 // configuration under continuous power (one pool job per configuration)
 // and lists the paper's reference systems alongside.
-func ComputeFFT(workers int) ([]FFTRow, error) {
+func ComputeFFT(workers int, obs ...probe.Observer) ([]FFTRow, error) {
 	p := fft.MiBenchParams()
 	rows := []FFTRow{
 		{System: "NVP (THU1010N) [57]", LatencySec: fft.NVPLatency},
@@ -168,6 +170,7 @@ func ComputeFFT(workers int) ([]FFTRow, error) {
 			return FFTRow{}, err
 		}
 		r := sim.NewRunner(energy.NewModel(cfg))
+		r.Obs = probe.First(obs)
 		res := r.RunContinuous(s)
 		return FFTRow{
 			System:     "MOUSE " + cfg.Name + " (intermittent-safe)",
@@ -182,8 +185,8 @@ func ComputeFFT(workers int) ([]FFTRow, error) {
 }
 
 // PrintFFT renders the FFT comparison.
-func PrintFFT(w io.Writer, workers int) error {
-	rows, err := ComputeFFT(workers)
+func PrintFFT(w io.Writer, workers int, obs ...probe.Observer) error {
+	rows, err := ComputeFFT(workers, obs...)
 	if err != nil {
 		return err
 	}

@@ -18,6 +18,7 @@ import (
 	"mouse/internal/energy"
 	"mouse/internal/mtj"
 	"mouse/internal/power"
+	"mouse/internal/probe"
 	"mouse/internal/sim"
 	"mouse/internal/workload"
 )
@@ -179,13 +180,16 @@ type TableIVRow struct {
 // ComputeTableIV runs every MOUSE benchmark under continuous power
 // (Modern STT, as in the paper) and appends the CPU/libSVM/SONIC
 // reference rows. The per-benchmark runs execute on the sweep pool with
-// the given worker bound (<= 0 selects DefaultWorkers).
-func ComputeTableIV(workers int) []TableIVRow {
+// the given worker bound (<= 0 selects DefaultWorkers). An optional
+// observer (shared across the pool's jobs — it must be concurrency-safe,
+// like probe.Stats) receives every run's events.
+func ComputeTableIV(workers int, obs ...probe.Observer) []TableIVRow {
 	cfg := mtj.ModernSTT()
 	specs := workload.Benchmarks()
 	rows, _ := runJobs(workers, len(specs), func(i int) (TableIVRow, error) {
 		s := specs[i]
 		r := sim.NewRunner(energy.NewModel(cfg))
+		r.Obs = probe.First(obs)
 		res := r.RunContinuous(s.Stream())
 		system := "MOUSE SVM (Modern STT)"
 		if s.Kind == workload.BNN {
@@ -218,11 +222,11 @@ func ComputeTableIV(workers int) []TableIVRow {
 }
 
 // PrintTableIV renders Table IV.
-func PrintTableIV(w io.Writer, workers int) {
+func PrintTableIV(w io.Writer, workers int, obs ...probe.Observer) {
 	fmt.Fprintln(w, "Table IV — continuous power (MOUSE rows simulated; CPU/libSVM/SONIC rows from the paper)")
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "system\tbenchmark\tlatency (µs)\tenergy (µJ)\t#SV\tI/D mem (MB)\tarea (mm²)")
-	for _, r := range ComputeTableIV(workers) {
+	for _, r := range ComputeTableIV(workers, obs...) {
 		sv := "-"
 		if r.NumSV > 0 {
 			sv = fmt.Sprintf("%d", r.NumSV)
@@ -255,7 +259,7 @@ type Fig9Point struct {
 // the given configuration, plus the SONIC baselines. Every
 // (system, power) cell is one pool job owning its runner and harvester;
 // points come back in grid order regardless of scheduling.
-func ComputeFig9(cfg *mtj.Config, powers []float64, workers int) ([]Fig9Point, error) {
+func ComputeFig9(cfg *mtj.Config, powers []float64, workers int, obs ...probe.Observer) ([]Fig9Point, error) {
 	specs := workload.Benchmarks()
 	sonics := []func() *baseline.SONIC{baseline.SONICMNIST, baseline.SONICHAR}
 	n := (len(specs) + len(sonics)) * len(powers)
@@ -264,6 +268,7 @@ func ComputeFig9(cfg *mtj.Config, powers []float64, workers int) ([]Fig9Point, e
 		if sys < len(specs) {
 			s := specs[sys]
 			r := sim.NewRunner(energy.NewModel(cfg))
+			r.Obs = probe.First(obs)
 			h := power.NewHarvester(power.Constant{W: p}, cfg.CapC, cfg.CapVMin, cfg.CapVMax)
 			res, err := r.Run(s.Stream(), h)
 			if err != nil {
@@ -283,8 +288,8 @@ func ComputeFig9(cfg *mtj.Config, powers []float64, workers int) ([]Fig9Point, e
 }
 
 // PrintFig9 renders the latency-vs-power series.
-func PrintFig9(w io.Writer, cfg *mtj.Config, workers int) error {
-	points, err := ComputeFig9(cfg, Powers(), workers)
+func PrintFig9(w io.Writer, cfg *mtj.Config, workers int, obs ...probe.Observer) error {
+	points, err := ComputeFig9(cfg, Powers(), workers, obs...)
 	if err != nil {
 		return err
 	}
@@ -318,7 +323,7 @@ func PrintFig9(w io.Writer, cfg *mtj.Config, workers int) error {
 // cross-over of the latency between FP-BNN and SVM MNIST (Bin)"): below
 // it the energy-hungrier FP-BNN is slower (latency is energy-bound);
 // above it FP-BNN's higher exploited parallelism wins.
-func CrossoverPowerW(cfg *mtj.Config, workers int) (float64, error) {
+func CrossoverPowerW(cfg *mtj.Config, workers int, obs ...probe.Observer) (float64, error) {
 	names := []string{"SVM MNIST (Bin)", "BNN FPBNN MNIST"}
 	runs, err := runJobs(workers, len(names), func(i int) (sim.Result, error) {
 		s, err := workload.ByName(names[i])
@@ -326,6 +331,7 @@ func CrossoverPowerW(cfg *mtj.Config, workers int) (float64, error) {
 			return sim.Result{}, err
 		}
 		r := sim.NewRunner(energy.NewModel(cfg))
+		r.Obs = probe.First(obs)
 		return r.RunContinuous(s.Stream()), nil
 	})
 	if err != nil {
@@ -350,11 +356,12 @@ type BreakdownRow struct {
 
 // ComputeBreakdown runs every benchmark at the given harvested power
 // (the figures use 60 µW) under cfg, one pool job per benchmark.
-func ComputeBreakdown(cfg *mtj.Config, watts float64, workers int) ([]BreakdownRow, error) {
+func ComputeBreakdown(cfg *mtj.Config, watts float64, workers int, obs ...probe.Observer) ([]BreakdownRow, error) {
 	specs := workload.Benchmarks()
 	return runJobs(workers, len(specs), func(i int) (BreakdownRow, error) {
 		s := specs[i]
 		r := sim.NewRunner(energy.NewModel(cfg))
+		r.Obs = probe.First(obs)
 		h := power.NewHarvester(power.Constant{W: watts}, cfg.CapC, cfg.CapVMin, cfg.CapVMax)
 		res, err := r.Run(s.Stream(), h)
 		if err != nil {
@@ -365,8 +372,8 @@ func ComputeBreakdown(cfg *mtj.Config, watts float64, workers int) ([]BreakdownR
 }
 
 // PrintBreakdown renders one of Figs. 10–12.
-func PrintBreakdown(w io.Writer, cfg *mtj.Config, watts float64, figure string, workers int) error {
-	rows, err := ComputeBreakdown(cfg, watts, workers)
+func PrintBreakdown(w io.Writer, cfg *mtj.Config, watts float64, figure string, workers int, obs ...probe.Observer) error {
+	rows, err := ComputeBreakdown(cfg, watts, workers, obs...)
 	if err != nil {
 		return err
 	}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"mouse/internal/mtj"
+	"mouse/internal/probe"
 )
 
 // Schema identifies the JSON report layout. Bump it when the report
@@ -25,6 +26,13 @@ type Report struct {
 	// (resolved: never 0).
 	Parallelism int                `json:"parallelism"`
 	Experiments []ExperimentReport `json:"experiments"`
+
+	// Telemetry is the probe.Stats snapshot of every simulation the run
+	// executed, present only when telemetry collection was requested
+	// (mousebench -telemetry). Adding an optional section keeps the
+	// schema at v1: absent in older BENCH_*.json files, ignored by
+	// tooling that does not know it.
+	Telemetry *probe.Section `json:"telemetry,omitempty"`
 }
 
 // ExperimentReport is one experiment's structured result.
@@ -54,6 +62,10 @@ func (r *Report) Normalize() {
 	for i := range r.Experiments {
 		r.Experiments[i].WallSeconds = 0
 	}
+	// Telemetry floats accumulate in pool-scheduling order, so two runs
+	// of the same experiments at different parallelism can differ in the
+	// last ulp; the section is diagnostics, not simulation output.
+	r.Telemetry = nil
 }
 
 // Fig9Sweep is one configuration's Fig. 9 power sweep in a report.
@@ -71,10 +83,13 @@ type CrossoverResult struct {
 // Experiment is one entry of the mousebench registry: a stable name, a
 // human-readable table printer, and a typed-row producer for JSON
 // reports. workers bounds the sweep pool (<= 0 selects DefaultWorkers).
+// The optional observer is shared by every simulation the experiment
+// runs (so it must be concurrency-safe, like probe.Stats); experiments
+// that run no simulations ignore it.
 type Experiment struct {
 	Name  string
-	Print func(w io.Writer, workers int) error
-	Rows  func(workers int) (any, error)
+	Print func(w io.Writer, workers int, obs ...probe.Observer) error
+	Rows  func(workers int, obs ...probe.Observer) (any, error)
 }
 
 // Experiments lists every experiment in output order. The names are the
@@ -84,41 +99,44 @@ func Experiments() []Experiment {
 	return []Experiment{
 		{
 			Name:  "table1",
-			Print: func(w io.Writer, _ int) error { PrintTableI(w, mtj.ModernSTT()); return nil },
-			Rows:  func(_ int) (any, error) { return ComputeTableI(mtj.ModernSTT()), nil },
+			Print: func(w io.Writer, _ int, _ ...probe.Observer) error { PrintTableI(w, mtj.ModernSTT()); return nil },
+			Rows:  func(_ int, _ ...probe.Observer) (any, error) { return ComputeTableI(mtj.ModernSTT()), nil },
 		},
 		{
 			Name:  "table2",
-			Print: func(w io.Writer, _ int) error { PrintTableII(w); return nil },
-			Rows:  func(_ int) (any, error) { return ComputeTableII(), nil },
+			Print: func(w io.Writer, _ int, _ ...probe.Observer) error { PrintTableII(w); return nil },
+			Rows:  func(_ int, _ ...probe.Observer) (any, error) { return ComputeTableII(), nil },
 		},
 		{
 			Name:  "table3",
-			Print: func(w io.Writer, _ int) error { PrintTableIII(w); return nil },
-			Rows:  func(_ int) (any, error) { return ComputeTableIII(), nil },
+			Print: func(w io.Writer, _ int, _ ...probe.Observer) error { PrintTableIII(w); return nil },
+			Rows:  func(_ int, _ ...probe.Observer) (any, error) { return ComputeTableIII(), nil },
 		},
 		{
-			Name:  "table4",
-			Print: func(w io.Writer, workers int) error { PrintTableIV(w, workers); return nil },
-			Rows:  func(workers int) (any, error) { return ComputeTableIV(workers), nil },
+			Name: "table4",
+			Print: func(w io.Writer, workers int, obs ...probe.Observer) error {
+				PrintTableIV(w, workers, obs...)
+				return nil
+			},
+			Rows: func(workers int, obs ...probe.Observer) (any, error) { return ComputeTableIV(workers, obs...), nil },
 		},
 		{
 			Name: "fig9",
-			Print: func(w io.Writer, workers int) error {
+			Print: func(w io.Writer, workers int, obs ...probe.Observer) error {
 				for i, cfg := range mtj.Configs() {
 					if i > 0 {
 						fmt.Fprintln(w)
 					}
-					if err := PrintFig9(w, cfg, workers); err != nil {
+					if err := PrintFig9(w, cfg, workers, obs...); err != nil {
 						return err
 					}
 				}
 				return nil
 			},
-			Rows: func(workers int) (any, error) {
+			Rows: func(workers int, obs ...probe.Observer) (any, error) {
 				var sweeps []Fig9Sweep
 				for _, cfg := range mtj.Configs() {
-					points, err := ComputeFig9(cfg, Powers(), workers)
+					points, err := ComputeFig9(cfg, Powers(), workers, obs...)
 					if err != nil {
 						return nil, err
 					}
@@ -132,21 +150,21 @@ func Experiments() []Experiment {
 		breakdownExperiment("fig12", "Fig. 12", mtj.ProjectedSHE),
 		{
 			Name:  "fft",
-			Print: func(w io.Writer, workers int) error { return PrintFFT(w, workers) },
-			Rows:  func(workers int) (any, error) { return ComputeFFT(workers) },
+			Print: func(w io.Writer, workers int, obs ...probe.Observer) error { return PrintFFT(w, workers, obs...) },
+			Rows:  func(workers int, obs ...probe.Observer) (any, error) { return ComputeFFT(workers, obs...) },
 		},
 		{
 			Name:  "robustness",
-			Print: func(w io.Writer, workers int) error { PrintRobustness(w, workers); return nil },
-			Rows:  func(workers int) (any, error) { return ComputeRobustness(workers), nil },
+			Print: func(w io.Writer, workers int, _ ...probe.Observer) error { PrintRobustness(w, workers); return nil },
+			Rows:  func(workers int, _ ...probe.Observer) (any, error) { return ComputeRobustness(workers), nil },
 		},
 		{
 			Name: "checkpoint",
-			Print: func(w io.Writer, workers int) error {
-				return PrintCheckpointSweep(w, mtj.ModernSTT(), "SVM ADULT", workers)
+			Print: func(w io.Writer, workers int, obs ...probe.Observer) error {
+				return PrintCheckpointSweep(w, mtj.ModernSTT(), "SVM ADULT", workers, obs...)
 			},
-			Rows: func(workers int) (any, error) {
-				rows, err := ComputeCheckpointSweep(mtj.ModernSTT(), "SVM ADULT", workers)
+			Rows: func(workers int, obs ...probe.Observer) (any, error) {
+				rows, err := ComputeCheckpointSweep(mtj.ModernSTT(), "SVM ADULT", workers, obs...)
 				if err != nil {
 					return nil, err
 				}
@@ -155,13 +173,13 @@ func Experiments() []Experiment {
 		},
 		{
 			Name:  "parallelism",
-			Print: func(w io.Writer, _ int) error { PrintParallelism(w); return nil },
-			Rows:  func(_ int) (any, error) { return ComputeParallelism(), nil },
+			Print: func(w io.Writer, _ int, _ ...probe.Observer) error { PrintParallelism(w); return nil },
+			Rows:  func(_ int, _ ...probe.Observer) (any, error) { return ComputeParallelism(), nil },
 		},
 		{
 			Name: "crossover",
-			Print: func(w io.Writer, workers int) error {
-				p, err := CrossoverPowerW(mtj.ModernSTT(), workers)
+			Print: func(w io.Writer, workers int, obs ...probe.Observer) error {
+				p, err := CrossoverPowerW(mtj.ModernSTT(), workers, obs...)
 				if err != nil {
 					return err
 				}
@@ -170,8 +188,8 @@ func Experiments() []Experiment {
 				fmt.Fprintln(w, "higher exploited parallelism wins (Section IX)")
 				return nil
 			},
-			Rows: func(workers int) (any, error) {
-				p, err := CrossoverPowerW(mtj.ModernSTT(), workers)
+			Rows: func(workers int, obs ...probe.Observer) (any, error) {
+				p, err := CrossoverPowerW(mtj.ModernSTT(), workers, obs...)
 				if err != nil {
 					return nil, err
 				}
@@ -185,11 +203,11 @@ func Experiments() []Experiment {
 func breakdownExperiment(name, figure string, cfg func() *mtj.Config) Experiment {
 	return Experiment{
 		Name: name,
-		Print: func(w io.Writer, workers int) error {
-			return PrintBreakdown(w, cfg(), 60e-6, figure, workers)
+		Print: func(w io.Writer, workers int, obs ...probe.Observer) error {
+			return PrintBreakdown(w, cfg(), 60e-6, figure, workers, obs...)
 		},
-		Rows: func(workers int) (any, error) {
-			rows, err := ComputeBreakdown(cfg(), 60e-6, workers)
+		Rows: func(workers int, obs ...probe.Observer) (any, error) {
+			rows, err := ComputeBreakdown(cfg(), 60e-6, workers, obs...)
 			if err != nil {
 				return nil, err
 			}
@@ -215,7 +233,7 @@ func selectExperiments(experiment string) ([]Experiment, error) {
 // RunPrinted renders the selected experiment (or "all") as the
 // human-readable tables, separated by exactly one blank line, with no
 // leading or trailing blank line.
-func RunPrinted(w io.Writer, experiment string, workers int) error {
+func RunPrinted(w io.Writer, experiment string, workers int, obs ...probe.Observer) error {
 	selected, err := selectExperiments(experiment)
 	if err != nil {
 		return err
@@ -224,7 +242,7 @@ func RunPrinted(w io.Writer, experiment string, workers int) error {
 		if i > 0 {
 			fmt.Fprintln(w)
 		}
-		if err := e.Print(w, workers); err != nil {
+		if err := e.Print(w, workers, obs...); err != nil {
 			return fmt.Errorf("%s: %w", e.Name, err)
 		}
 	}
@@ -233,7 +251,7 @@ func RunPrinted(w io.Writer, experiment string, workers int) error {
 
 // BuildReport computes the selected experiment's (or "all" experiments')
 // typed rows and wall-clock costs into a Report.
-func BuildReport(experiment string, workers int) (*Report, error) {
+func BuildReport(experiment string, workers int, obs ...probe.Observer) (*Report, error) {
 	selected, err := selectExperiments(experiment)
 	if err != nil {
 		return nil, err
@@ -241,7 +259,7 @@ func BuildReport(experiment string, workers int) (*Report, error) {
 	rep := &Report{Schema: Schema, Tool: "mousebench", Parallelism: clampWorkers(workers, 1<<30)}
 	for _, e := range selected {
 		start := time.Now()
-		rows, err := e.Rows(workers)
+		rows, err := e.Rows(workers, obs...)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", e.Name, err)
 		}
@@ -251,5 +269,18 @@ func BuildReport(experiment string, workers int) (*Report, error) {
 			Rows:        rows,
 		})
 	}
+	return rep, nil
+}
+
+// BuildTelemetryReport is BuildReport with a shared probe.Stats
+// attached to every simulation the selected experiments run; its
+// snapshot lands in the report's Telemetry section.
+func BuildTelemetryReport(experiment string, workers int) (*Report, error) {
+	stats := &probe.Stats{}
+	rep, err := BuildReport(experiment, workers, stats)
+	if err != nil {
+		return nil, err
+	}
+	rep.Telemetry = stats.Section()
 	return rep, nil
 }

@@ -1,6 +1,10 @@
 package power
 
-import "fmt"
+import (
+	"fmt"
+
+	"mouse/internal/probe"
+)
 
 // Harvester combines a power source, the capacitor buffer, and the
 // voltage-window policy into the stepping model the intermittent
@@ -19,7 +23,16 @@ type Harvester struct {
 	// once the buffer is full). Defaults to VOn if zero.
 	VMax float64
 
-	now float64
+	// Obs receives capacitor-voltage samples, decimated to at most one
+	// per SampleEvery seconds of simulated time; the brown-out and
+	// recharge-complete voltages are always sampled so the waveform's
+	// envelope survives decimation. SampleEvery <= 0 or a nil/no-op
+	// observer disables sampling entirely.
+	Obs         probe.Observer
+	SampleEvery float64
+
+	now        float64
+	lastSample float64
 }
 
 // NewHarvester builds a harvester with the buffer initially empty — the
@@ -37,6 +50,20 @@ func NewHarvester(src Source, capacitance, vOff, vOn float64) *Harvester {
 
 // Now returns the simulation clock in seconds.
 func (h *Harvester) Now() float64 { return h.now }
+
+// sample emits a decimated voltage sample; force bypasses the
+// decimation for envelope points (brown-out, recharge complete). The
+// nil check keeps unobserved harvesters at one branch per step.
+func (h *Harvester) sample(force bool) {
+	if h.Obs == nil || h.SampleEvery <= 0 {
+		return
+	}
+	if !force && h.now-h.lastSample < h.SampleEvery {
+		return
+	}
+	h.lastSample = h.now
+	h.Obs.VoltageSample(h.now, h.Cap.Voltage())
+}
 
 // On reports whether the buffer is above the shutdown voltage.
 func (h *Harvester) On() bool { return h.Cap.Voltage() > h.VOff }
@@ -65,6 +92,7 @@ func (h *Harvester) ChargeUntilOn(maxWait float64) (float64, error) {
 			}
 			h.now += dt
 			h.Cap.SetVoltage(h.VOn)
+			h.sample(true)
 		}
 		return h.now - start, nil
 	}
@@ -75,10 +103,12 @@ func (h *Harvester) ChargeUntilOn(maxWait float64) (float64, error) {
 		p := h.Src.Power(h.now)
 		h.Cap.AddEnergy(p * chargeQuantum)
 		h.now += chargeQuantum
+		h.sample(false)
 	}
 	if h.Cap.Voltage() > h.VMax {
 		h.Cap.SetVoltage(h.VMax)
 	}
+	h.sample(true)
 	return h.now - start, nil
 }
 
@@ -97,11 +127,13 @@ func (h *Harvester) Draw(dt, e float64) float64 {
 			h.Cap.SetVoltage(h.VMax)
 		}
 		h.now += dt
+		h.sample(false)
 		return 1.0
 	}
 	frac := budget / e
 	h.now += dt * frac
 	h.Cap.SetVoltage(h.VOff)
+	h.sample(true)
 	return frac
 }
 
@@ -113,4 +145,5 @@ func (h *Harvester) Idle(dt float64) {
 		h.Cap.SetVoltage(h.VMax)
 	}
 	h.now += dt
+	h.sample(false)
 }

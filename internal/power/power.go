@@ -57,8 +57,15 @@ func (tr Trace) Power(t float64) float64 {
 	return last
 }
 
-// Name describes the source.
-func (tr Trace) Name() string { return fmt.Sprintf("trace (%d points)", len(tr.Times)) }
+// Name describes the source: point count plus the time span the points
+// cover, so sweep tables over different traces are self-describing.
+func (tr Trace) Name() string {
+	if len(tr.Times) == 0 {
+		return "trace (empty)"
+	}
+	span := tr.Times[len(tr.Times)-1] - tr.Times[0]
+	return fmt.Sprintf("trace (%d points over %.3g s)", len(tr.Times), span)
+}
 
 // Solar is a half-sine "daylight" source: power follows
 // Peak*max(0, sin(2πt/Period)) — daylight for the first half of each

@@ -82,7 +82,11 @@ func TestCapacitorAddEnergyRoundTrip(t *testing.T) {
 			return false
 		}
 		c.AddEnergy(-e)
-		return almost(c.Energy(), before, 1e-9)
+		// The round trip's float error scales with the peak energy the
+		// buffer held (the voltage<->energy conversions happen at
+		// before+e), not with the possibly much smaller starting energy,
+		// so a relative check against `before` alone is flaky.
+		return math.Abs(c.Energy()-before) <= 1e-9*(before+e)
 	}
 	if err := quick.Check(prop, &quick.Config{MaxCount: 1000}); err != nil {
 		t.Error(err)

@@ -1,0 +1,218 @@
+package probe
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+
+	"mouse/internal/isa"
+)
+
+// Chrome trace_event track layout: one process ("mouse"), a machine
+// thread for instruction/restore spans, a power thread for outage
+// spans, and a "Vcap" counter track for the capacitor voltage.
+const (
+	tracePID       = 1
+	machineTID     = 1
+	powerTID       = 2
+	interruptTID   = machineTID
+	traceTimeScale = 1e6 // seconds -> trace microseconds
+)
+
+// TraceWriter streams a run's event stream as Chrome trace_event JSON
+// (the format Perfetto and chrome://tracing load directly). It records
+// a single run's timeline and is NOT safe for concurrent use — attach
+// it to one runner, then Close.
+//
+// Adjacent retired instructions with identical labels are coalesced
+// into one span carrying a count and summed energy, which keeps
+// paper-scale runs (millions of cycles) tractable as trace files.
+type TraceWriter struct {
+	w     *bufio.Writer
+	c     io.Closer
+	err   error
+	first bool
+
+	// pending coalesced instruction span.
+	open      bool
+	name      string
+	startT    float64
+	endT      float64
+	count     int
+	energy    float64
+	replays   int
+	sawInstr  bool
+	closeDone bool
+}
+
+var _ Observer = (*TraceWriter)(nil)
+
+// NewTraceWriter starts a trace stream on w. If w is also an io.Closer
+// it is closed by Close.
+func NewTraceWriter(w io.Writer) *TraceWriter {
+	tw := &TraceWriter{w: bufio.NewWriter(w), first: true}
+	if c, ok := w.(io.Closer); ok {
+		tw.c = c
+	}
+	tw.raw(`{"displayTimeUnit":"ms","traceEvents":[`)
+	tw.meta("process_name", `"name":"mouse"`, 0)
+	tw.meta("thread_name", `"name":"machine"`, machineTID)
+	tw.meta("thread_name", `"name":"power"`, powerTID)
+	return tw
+}
+
+func (tw *TraceWriter) raw(s string) {
+	if tw.err != nil {
+		return
+	}
+	_, tw.err = tw.w.WriteString(s)
+}
+
+// event emits one JSON object, handling the comma framing.
+func (tw *TraceWriter) event(body string) {
+	if tw.err != nil {
+		return
+	}
+	if tw.first {
+		tw.first = false
+	} else {
+		tw.raw(",")
+	}
+	tw.raw("\n")
+	tw.raw(body)
+}
+
+func (tw *TraceWriter) meta(name, args string, tid int) {
+	tw.event(fmt.Sprintf(`{"ph":"M","pid":%d,"tid":%d,"name":%q,"args":{%s}}`,
+		tracePID, tid, name, args))
+}
+
+// us formats a time or duration in trace microseconds with fixed
+// precision so output is deterministic across platforms.
+func us(seconds float64) string {
+	return strconv.FormatFloat(seconds*traceTimeScale, 'f', 3, 64)
+}
+
+func jnum(v float64) string { return strconv.FormatFloat(v, 'g', 6, 64) }
+
+// span emits a complete ("X") event.
+func (tw *TraceWriter) span(tid int, name string, start, dur float64, args string) {
+	b := fmt.Sprintf(`{"ph":"X","pid":%d,"tid":%d,"name":%q,"ts":%s,"dur":%s`,
+		tracePID, tid, name, us(start), us(dur))
+	if args != "" {
+		b += `,"args":{` + args + `}`
+	}
+	tw.event(b + "}")
+}
+
+// flushInstr closes the pending coalesced instruction span, if any.
+func (tw *TraceWriter) flushInstr() {
+	if !tw.open {
+		return
+	}
+	tw.open = false
+	args := fmt.Sprintf(`"count":%d,"energy_j":%s`, tw.count, jnum(tw.energy))
+	if tw.replays > 0 {
+		args += fmt.Sprintf(`,"replays":%d`, tw.replays)
+	}
+	tw.span(machineTID, tw.name, tw.startT, tw.endT-tw.startT, args)
+}
+
+func instrName(kind isa.Kind, ev Instr) string {
+	if kind == isa.KindLogic {
+		return ev.Gate.String()
+	}
+	return kind.String()
+}
+
+// InstrRetired implements Observer.
+func (tw *TraceWriter) InstrRetired(ev Instr) {
+	tw.sawInstr = true
+	name := instrName(ev.Kind, ev)
+	start := ev.T - ev.Dur
+	const gapTol = 1e-12
+	if tw.open && tw.name == name && start-tw.endT <= gapTol {
+		tw.endT = ev.T
+		tw.count++
+		tw.energy += ev.Energy + ev.Backup
+		if ev.Replay {
+			tw.replays++
+		}
+		return
+	}
+	tw.flushInstr()
+	tw.open = true
+	tw.name = name
+	tw.startT = start
+	tw.endT = ev.T
+	tw.count = 1
+	tw.energy = ev.Energy + ev.Backup
+	tw.replays = 0
+	if ev.Replay {
+		tw.replays = 1
+	}
+}
+
+// PulseInterrupted implements Observer.
+func (tw *TraceWriter) PulseInterrupted(ev Interrupt) {
+	tw.flushInstr()
+	tw.event(fmt.Sprintf(
+		`{"ph":"i","pid":%d,"tid":%d,"name":"pulse interrupted","ts":%s,"s":"t","args":{"kind":%q,"frac":%s,"lost_j":%s}}`,
+		tracePID, interruptTID, us(ev.T), ev.Kind.String(), jnum(ev.Frac), jnum(ev.Lost)))
+}
+
+// OutageBegin implements Observer. The outage span itself is emitted at
+// OutageEnd, when the duration is known.
+func (tw *TraceWriter) OutageBegin(float64) {
+	tw.flushInstr()
+}
+
+// OutageEnd implements Observer.
+func (tw *TraceWriter) OutageEnd(t, off float64) {
+	name := "outage"
+	if !tw.sawInstr {
+		// The powered-off span before the first instruction is the
+		// initial charge from an empty buffer, not a brown-out.
+		name = "charge"
+	}
+	tw.span(powerTID, name, t-off, off, "")
+}
+
+// Restored implements Observer.
+func (tw *TraceWriter) Restored(ev Restore) {
+	tw.flushInstr()
+	tw.span(machineTID, "restore", ev.T-ev.Dur, ev.Dur,
+		fmt.Sprintf(`"cols":%d,"energy_j":%s`, ev.Cols, jnum(ev.Energy)))
+}
+
+// VoltageSample implements Observer.
+func (tw *TraceWriter) VoltageSample(t, volts float64) {
+	tw.event(fmt.Sprintf(
+		`{"ph":"C","pid":%d,"name":"Vcap","ts":%s,"args":{"V":%s}}`,
+		tracePID, us(t), jnum(volts)))
+}
+
+// TileWrite implements Observer. Per-cycle write traffic is far too
+// fine-grained for a timeline; wear accounting belongs to Stats.
+func (tw *TraceWriter) TileWrite(int, int) {}
+
+// Close flushes the pending span, finalizes the JSON document, and
+// returns the first error encountered while writing.
+func (tw *TraceWriter) Close() error {
+	if tw.closeDone {
+		return tw.err
+	}
+	tw.closeDone = true
+	tw.flushInstr()
+	tw.raw("\n]}\n")
+	if err := tw.w.Flush(); err != nil && tw.err == nil {
+		tw.err = err
+	}
+	if tw.c != nil {
+		if err := tw.c.Close(); err != nil && tw.err == nil {
+			tw.err = err
+		}
+	}
+	return tw.err
+}

@@ -6,6 +6,7 @@ import (
 	"mouse/internal/energy"
 	"mouse/internal/isa"
 	"mouse/internal/power"
+	"mouse/internal/probe"
 )
 
 // RunWithCheckpointInterval executes the stream under harvester h, but
@@ -28,14 +29,22 @@ func (r *Runner) RunWithCheckpointInterval(s OpStream, h *power.Harvester, inter
 		return Result{}, fmt.Errorf("sim: checkpoint interval %d must be ≥ 1", interval)
 	}
 	var b energy.Breakdown
+	var replays uint64
 	dt := r.Model.CycleTime()
 	activeCols := 0
+	active := probe.Enabled(r.Obs)
 
+	if active {
+		r.Obs.OutageBegin(h.Now())
+	}
 	off, err := h.ChargeUntilOn(r.MaxChargeWait)
 	if err != nil {
 		return Result{Breakdown: b}, err
 	}
 	b.OffLatency += off
+	if active {
+		r.Obs.OutageEnd(h.Now(), off)
+	}
 
 	// pending holds instructions executed since the last committed
 	// checkpoint; an outage re-performs all of them.
@@ -52,27 +61,45 @@ func (r *Runner) RunWithCheckpointInterval(s OpStream, h *power.Harvester, inter
 				if asDead {
 					b.DeadEnergy += e
 					b.DeadLatency += dt
+					replays++
 				} else {
 					b.ComputeEnergy += e
 					b.Instructions++
 				}
 				b.OnLatency += dt
+				if active {
+					r.Obs.InstrRetired(probe.Instr{
+						T: h.Now(), Dur: dt, Kind: op.Kind, Gate: op.Gate,
+						Tile: -1, Energy: e, Replay: asDead,
+					})
+				}
 				return nil
 			}
 			b.DeadEnergy += e * frac
 			b.DeadLatency += dt * frac
 			b.OnLatency += dt * frac
 			b.Restarts++
+			if active {
+				r.Obs.PulseInterrupted(probe.Interrupt{
+					T: h.Now(), Frac: frac, Kind: op.Kind, Lost: e * frac,
+				})
+			}
 
 			window := 0.5 * h.Cap.C * (h.VOn*h.VOn - h.VOff*h.VOff)
 			if e > window+h.Src.Power(h.Now())*dt {
 				return fmt.Errorf("%w (instruction needs %.3g J, window holds %.3g J)", ErrNonTermination, e, window)
+			}
+			if active {
+				r.Obs.OutageBegin(h.Now())
 			}
 			off, err := h.ChargeUntilOn(r.MaxChargeWait)
 			if err != nil {
 				return err
 			}
 			b.OffLatency += off
+			if active {
+				r.Obs.OutageEnd(h.Now(), off)
+			}
 			if err := r.restore(h, activeCols, dt, &b); err != nil {
 				return err
 			}
@@ -93,7 +120,7 @@ func (r *Runner) RunWithCheckpointInterval(s OpStream, h *power.Harvester, inter
 			break
 		}
 		if err := execute(op, false); err != nil {
-			return Result{Breakdown: b}, err
+			return Result{Breakdown: b, Replays: replays}, err
 		}
 		if op.Kind == isa.KindAct {
 			activeCols = op.ActCols
@@ -108,17 +135,23 @@ func (r *Runner) RunWithCheckpointInterval(s OpStream, h *power.Harvester, inter
 			if frac < 1 {
 				// The checkpoint itself died; the window replays.
 				b.Restarts++
+				if active {
+					r.Obs.OutageBegin(h.Now())
+				}
 				off, err := h.ChargeUntilOn(r.MaxChargeWait)
 				if err != nil {
-					return Result{Breakdown: b}, err
+					return Result{Breakdown: b, Replays: replays}, err
 				}
 				b.OffLatency += off
+				if active {
+					r.Obs.OutageEnd(h.Now(), off)
+				}
 				if err := r.restore(h, activeCols, dt, &b); err != nil {
-					return Result{Breakdown: b}, err
+					return Result{Breakdown: b, Replays: replays}, err
 				}
 				for _, prev := range pending {
 					if err := execute(prev, true); err != nil {
-						return Result{Breakdown: b}, err
+						return Result{Breakdown: b, Replays: replays}, err
 					}
 				}
 				h.Draw(0, ck)
@@ -128,5 +161,5 @@ func (r *Runner) RunWithCheckpointInterval(s OpStream, h *power.Harvester, inter
 			sinceCheckpoint = 0
 		}
 	}
-	return Result{Breakdown: b, Completed: true}, nil
+	return Result{Breakdown: b, Replays: replays, Completed: true}, nil
 }

@@ -10,6 +10,7 @@ import (
 	"mouse/internal/isa"
 	"mouse/internal/mtj"
 	"mouse/internal/power"
+	"mouse/internal/probe"
 )
 
 // MachineRunner executes a real program on the bit-accurate machine under
@@ -36,6 +37,11 @@ type MachineRunner struct {
 
 	// MaxChargeWait bounds one recharge wait, in seconds.
 	MaxChargeWait float64
+
+	// Obs receives the run's event stream (and is lent to the machine
+	// for per-tile write events while Run executes, unless the machine
+	// already has its own observer). Nil or probe.Nop disables emission.
+	Obs probe.Observer
 }
 
 // NewMachineRunner wraps a controller with the energy model for its
@@ -180,27 +186,66 @@ func (p *opPricer) price(op energy.Op) priced {
 	}
 }
 
+// instrTile reports the tile an instruction addresses, or -1 for
+// broadcast and tile-less operations (logic and preset fan out across
+// every data tile).
+func instrTile(in isa.Instruction) int {
+	switch in.Kind {
+	case isa.KindRead, isa.KindWrite:
+		return int(in.Tile)
+	case isa.KindAct:
+		if !in.Broadcast {
+			return int(in.Tile)
+		}
+	}
+	return -1
+}
+
 // Run executes the program to completion under harvester h (or under
 // continuous power if h is nil), returning the EH-model accounting.
 func (r *MachineRunner) Run(h *power.Harvester) (Result, error) {
 	var b energy.Breakdown
+	var replays uint64
 	dt := r.Model.CycleTime()
 	lastLevel := 0
 	pricer := newOpPricer(r.Model)
+	active := probe.Enabled(r.Obs)
+	now := 0.0 // continuous-power clock; h.Now() rules when h != nil
+
+	// Lend the observer to the machine for per-tile write events, unless
+	// the caller already wired one there.
+	if active {
+		if m := r.C.Machine(); m.Obs == nil {
+			m.Obs = r.Obs
+			defer func() { m.Obs = nil }()
+		}
+	}
+	clock := func() float64 {
+		if h != nil {
+			return h.Now()
+		}
+		return now
+	}
 
 	if h != nil {
+		if active {
+			r.Obs.OutageBegin(h.Now())
+		}
 		off, err := h.ChargeUntilOn(r.MaxChargeWait)
 		if err != nil {
-			return Result{Breakdown: b}, err
+			return Result{Breakdown: b, Replays: replays}, err
 		}
 		b.OffLatency += off
+		if active {
+			r.Obs.OutageEnd(h.Now(), off)
+		}
 	}
 
 	retry := false
 	for {
 		in, more := r.C.Peek()
 		if !more {
-			return Result{Breakdown: b, Completed: true}, nil
+			return Result{Breakdown: b, Replays: replays, Completed: true}, nil
 		}
 		op := r.opFor(in)
 		p := pricer.price(op)
@@ -213,26 +258,36 @@ func (r *MachineRunner) Run(h *power.Harvester) (Result, error) {
 		if frac >= 1 {
 			done, err := r.C.Step()
 			if err != nil {
-				return Result{Breakdown: b}, err
+				return Result{Breakdown: b, Replays: replays}, err
 			}
 			if retry {
 				// Re-execution after a restart is Dead work (the paper's
 				// "repeating the last instruction on restart").
 				b.DeadEnergy += p.compute
 				b.DeadLatency += dt
+				replays++
 			} else {
 				b.ComputeEnergy += p.compute
 			}
-			retry = false
 			b.BackupEnergy += p.backup
 			b.OnLatency += dt
 			b.Instructions++
+			if active {
+				now += dt
+				r.Obs.InstrRetired(probe.Instr{
+					T: clock(), Dur: dt, Kind: in.Kind, Gate: in.Gate,
+					Tile:   instrTile(in),
+					Energy: p.compute, Backup: p.backup,
+					Replay: retry,
+				})
+			}
+			retry = false
 			if p.level >= 0 && p.level != lastLevel {
 				b.LevelSwitches++
 				lastLevel = p.level
 			}
 			if done {
-				return Result{Breakdown: b, Completed: true}, nil
+				return Result{Breakdown: b, Replays: replays, Completed: true}, nil
 			}
 			continue
 		}
@@ -240,25 +295,36 @@ func (r *MachineRunner) Run(h *power.Harvester) (Result, error) {
 		// Outage mid-cycle: inject the failure at the matching µ-phase.
 		ph, partial := phaseFor(frac)
 		if err := r.C.StepWithFailure(ph, partial); !errors.Is(err, controller.ErrPowerFailure) {
-			return Result{Breakdown: b}, fmt.Errorf("sim: expected injected power failure, got %v", err)
+			return Result{Breakdown: b, Replays: replays}, fmt.Errorf("sim: expected injected power failure, got %v", err)
 		}
 		retry = true
 		b.DeadEnergy += e * frac
 		b.DeadLatency += dt * frac
 		b.OnLatency += dt * frac
 		b.Restarts++
+		if active {
+			r.Obs.PulseInterrupted(probe.Interrupt{
+				T: h.Now(), Frac: frac, Kind: in.Kind, Lost: e * frac,
+			})
+		}
 
 		window := 0.5 * h.Cap.C * (h.VOn*h.VOn - h.VOff*h.VOff)
 		if e > window+h.Src.Power(h.Now())*dt {
-			return Result{Breakdown: b}, fmt.Errorf("%w (instruction needs %.3g J, window holds %.3g J)", ErrNonTermination, e, window)
+			return Result{Breakdown: b, Replays: replays}, fmt.Errorf("%w (instruction needs %.3g J, window holds %.3g J)", ErrNonTermination, e, window)
 		}
 
 		r.C.PowerFail()
+		if active {
+			r.Obs.OutageBegin(h.Now())
+		}
 		off, err := h.ChargeUntilOn(r.MaxChargeWait)
 		if err != nil {
-			return Result{Breakdown: b}, err
+			return Result{Breakdown: b, Replays: replays}, err
 		}
 		b.OffLatency += off
+		if active {
+			r.Obs.OutageEnd(h.Now(), off)
+		}
 
 		// Reboot: restore the column latches from the stored ACT.
 		restoreCols := 0
@@ -269,24 +335,38 @@ func (r *MachineRunner) Run(h *power.Harvester) (Result, error) {
 			}
 		}
 		re := r.Model.Restore(restoreCols)
+		var spentE, spentT float64
 		for {
 			reFrac := h.Draw(dt, re)
 			b.RestoreEnergy += re * reFrac
 			b.RestoreLatency += dt * reFrac
 			b.OnLatency += dt * reFrac
+			spentE += re * reFrac
+			spentT += dt * reFrac
 			if reFrac >= 1 {
 				break
 			}
 			// Even the restore ran out; recharge and retry (re-issuing
 			// an ACT is itself idempotent).
+			if active {
+				r.Obs.OutageBegin(h.Now())
+			}
 			off, err := h.ChargeUntilOn(r.MaxChargeWait)
 			if err != nil {
-				return Result{Breakdown: b}, err
+				return Result{Breakdown: b, Replays: replays}, err
 			}
 			b.OffLatency += off
+			if active {
+				r.Obs.OutageEnd(h.Now(), off)
+			}
+		}
+		if active {
+			r.Obs.Restored(probe.Restore{
+				T: h.Now(), Dur: spentT, Cols: restoreCols, Energy: spentE,
+			})
 		}
 		if err := r.C.Restart(); err != nil {
-			return Result{Breakdown: b}, err
+			return Result{Breakdown: b, Replays: replays}, err
 		}
 	}
 }

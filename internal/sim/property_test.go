@@ -62,6 +62,10 @@ func TestEnergyConservationProperty(t *testing.T) {
 			t.Errorf("trial %d (%s, %.3g W): accounted %.6g J exceeds harvested %.6g J",
 				trial, cfg.Name, watts, consumed, harvested)
 		}
+		if res.Replays > res.Restarts {
+			t.Errorf("trial %d (%s, %.3g W): %d replays exceed %d restarts",
+				trial, cfg.Name, watts, res.Replays, res.Restarts)
+		}
 		if err == nil && !res.Completed {
 			t.Errorf("trial %d: error-free run not completed", trial)
 		}
@@ -138,6 +142,9 @@ func TestInfinitePowerMatchesContinuous(t *testing.T) {
 		if res.DeadEnergy != 0 || res.RestoreEnergy != 0 || res.DeadLatency != 0 ||
 			res.RestoreLatency != 0 || res.OffLatency != 0 || res.Restarts != 0 {
 			t.Errorf("%s: infinite power still paid intermittence costs: %+v", cfg.Name, res.Breakdown)
+		}
+		if res.Replays != 0 {
+			t.Errorf("%s: infinite power still replayed %d instructions", cfg.Name, res.Replays)
 		}
 	}
 }

@@ -32,6 +32,7 @@ import (
 	"mouse/internal/energy"
 	"mouse/internal/isa"
 	"mouse/internal/power"
+	"mouse/internal/probe"
 )
 
 // OpStream yields the operation sequence of a program.
@@ -74,6 +75,11 @@ type Runner struct {
 	// MaxChargeWait bounds a single recharge wait (guards against a
 	// source that can never reach V_on). Seconds.
 	MaxChargeWait float64
+
+	// Obs receives the run's event stream. Nil or probe.Nop disables
+	// emission at the cost of one branch per instruction; observers must
+	// never influence accounting.
+	Obs probe.Observer
 }
 
 // NewRunner returns a runner over the given model.
@@ -84,6 +90,10 @@ func NewRunner(m *energy.Model) *Runner {
 // Result is the outcome of one run.
 type Result struct {
 	energy.Breakdown
+	// Replays counts instructions that were re-executed after an outage
+	// — the paper's "at most one re-execution per outage" claim means
+	// Replays never exceeds Restarts.
+	Replays uint64
 	// Completed is false only when an error aborted the run.
 	Completed bool
 }
@@ -94,6 +104,8 @@ func (r *Runner) RunContinuous(s OpStream) Result {
 	var b energy.Breakdown
 	dt := r.Model.CycleTime()
 	lastLevel := 0
+	active := probe.Enabled(r.Obs)
+	now := 0.0
 	for {
 		op, ok := s.Next()
 		if !ok {
@@ -103,6 +115,13 @@ func (r *Runner) RunContinuous(s OpStream) Result {
 		b.BackupEnergy += r.Model.Backup(op)
 		b.OnLatency += dt
 		b.Instructions++
+		if active {
+			now += dt
+			r.Obs.InstrRetired(probe.Instr{
+				T: now, Dur: dt, Kind: op.Kind, Gate: op.Gate, Tile: -1,
+				Energy: r.Model.Energy(op), Backup: r.Model.Backup(op),
+			})
+		}
 		if lv := r.Model.Level(op); lv >= 0 && lv != lastLevel {
 			b.LevelSwitches++
 			lastLevel = lv
@@ -117,16 +136,24 @@ func (r *Runner) RunContinuous(s OpStream) Result {
 // columns that must be re-latched.
 func (r *Runner) Run(s OpStream, h *power.Harvester) (Result, error) {
 	var b energy.Breakdown
+	var replays uint64
 	dt := r.Model.CycleTime()
 	lastLevel := 0
 	activeCols := 0 // columns the most recent ACT latched
+	active := probe.Enabled(r.Obs)
 
 	// Initial charge from an empty (or partial) buffer.
+	if active {
+		r.Obs.OutageBegin(h.Now())
+	}
 	off, err := h.ChargeUntilOn(r.MaxChargeWait)
 	if err != nil {
-		return Result{Breakdown: b}, err
+		return Result{Breakdown: b, Replays: replays}, err
 	}
 	b.OffLatency += off
+	if active {
+		r.Obs.OutageEnd(h.Now(), off)
+	}
 
 	for {
 		op, ok := s.Next()
@@ -145,12 +172,21 @@ func (r *Runner) Run(s OpStream, h *power.Harvester) (Result, error) {
 				if retry {
 					b.DeadEnergy += r.Model.Energy(op)
 					b.DeadLatency += dt
+					replays++
 				} else {
 					b.ComputeEnergy += r.Model.Energy(op)
 				}
 				b.BackupEnergy += r.Model.Backup(op)
 				b.OnLatency += dt
 				b.Instructions++
+				if active {
+					r.Obs.InstrRetired(probe.Instr{
+						T: h.Now(), Dur: dt, Kind: op.Kind, Gate: op.Gate,
+						Tile:   -1,
+						Energy: r.Model.Energy(op), Backup: r.Model.Backup(op),
+						Replay: retry,
+					})
+				}
 				break
 			}
 			retry = true
@@ -159,22 +195,33 @@ func (r *Runner) Run(s OpStream, h *power.Harvester) (Result, error) {
 			b.DeadLatency += dt * frac
 			b.OnLatency += dt * frac
 			b.Restarts++
+			if active {
+				r.Obs.PulseInterrupted(probe.Interrupt{
+					T: h.Now(), Frac: frac, Kind: op.Kind, Lost: e * frac,
+				})
+			}
 
 			// Detect non-termination: even a full window plus one
 			// cycle's harvest cannot pay for this instruction.
 			window := 0.5 * h.Cap.C * (h.VOn*h.VOn - h.VOff*h.VOff)
 			if e > window+h.Src.Power(h.Now())*dt {
-				return Result{Breakdown: b}, fmt.Errorf("%w (instruction needs %.3g J, window holds %.3g J)", ErrNonTermination, e, window)
+				return Result{Breakdown: b, Replays: replays}, fmt.Errorf("%w (instruction needs %.3g J, window holds %.3g J)", ErrNonTermination, e, window)
 			}
 
 			// Recharge, then restore the active columns.
+			if active {
+				r.Obs.OutageBegin(h.Now())
+			}
 			off, err := h.ChargeUntilOn(r.MaxChargeWait)
 			if err != nil {
-				return Result{Breakdown: b}, err
+				return Result{Breakdown: b, Replays: replays}, err
 			}
 			b.OffLatency += off
+			if active {
+				r.Obs.OutageEnd(h.Now(), off)
+			}
 			if err := r.restore(h, activeCols, dt, &b); err != nil {
-				return Result{Breakdown: b}, err
+				return Result{Breakdown: b, Replays: replays}, err
 			}
 		}
 		if op.Kind == isa.KindAct {
@@ -185,25 +232,40 @@ func (r *Runner) Run(s OpStream, h *power.Harvester) (Result, error) {
 			lastLevel = lv
 		}
 	}
-	return Result{Breakdown: b, Completed: true}, nil
+	return Result{Breakdown: b, Replays: replays, Completed: true}, nil
 }
 
 // restore pays the restart cost (re-issuing the stored ACT instruction);
 // if even that triggers another outage, it recharges and retries.
 func (r *Runner) restore(h *power.Harvester, activeCols int, dt float64, b *energy.Breakdown) error {
 	e := r.Model.Restore(activeCols)
+	active := probe.Enabled(r.Obs)
+	var spentE, spentT float64
 	for {
 		frac := h.Draw(dt, e)
 		b.RestoreEnergy += e * frac
 		b.RestoreLatency += dt * frac
 		b.OnLatency += dt * frac
+		spentE += e * frac
+		spentT += dt * frac
 		if frac >= 1 {
+			if active {
+				r.Obs.Restored(probe.Restore{
+					T: h.Now(), Dur: spentT, Cols: activeCols, Energy: spentE,
+				})
+			}
 			return nil
+		}
+		if active {
+			r.Obs.OutageBegin(h.Now())
 		}
 		off, err := h.ChargeUntilOn(r.MaxChargeWait)
 		if err != nil {
 			return err
 		}
 		b.OffLatency += off
+		if active {
+			r.Obs.OutageEnd(h.Now(), off)
+		}
 	}
 }

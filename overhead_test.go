@@ -1,0 +1,65 @@
+// Observer-overhead smoke test: the probe layer's contract is that an
+// unobserved run is free. The repo's CI bench-smoke job runs this with
+// MOUSE_BENCH_SMOKE=1 and fails the build if attaching the no-op
+// observer to the SVM MachineRunner benchmark adds any allocations or
+// more than 2% latency.
+package mouse_test
+
+import (
+	"os"
+	"testing"
+
+	"mouse/internal/controller"
+	"mouse/internal/probe"
+	"mouse/internal/sim"
+)
+
+// TestNopObserverOverhead compares the SVM MachineRunner workload with
+// no observer against the same workload with probe.Nop attached:
+// allocations must match exactly and the best-of-N latency ratio must
+// stay under 1.02. Gated behind MOUSE_BENCH_SMOKE=1 because a timing
+// assertion has no place in the default unit-test run.
+func TestNopObserverOverhead(t *testing.T) {
+	if os.Getenv("MOUSE_BENCH_SMOKE") == "" {
+		t.Skip("set MOUSE_BENCH_SMOKE=1 to run the observer-overhead smoke benchmark")
+	}
+	mach, prog := setupSVMMachine(t, false)
+
+	measure := func(obs probe.Observer) (bestNs float64, allocs int64) {
+		const rounds = 5
+		for i := 0; i < rounds; i++ {
+			r := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for j := 0; j < b.N; j++ {
+					c := controller.New(controller.ProgramStore(prog), mach)
+					mr := sim.NewMachineRunner(c)
+					mr.Obs = obs
+					res, err := mr.Run(nil)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if !res.Completed {
+						b.Fatal("run did not complete")
+					}
+				}
+			})
+			if ns := float64(r.NsPerOp()); i == 0 || ns < bestNs {
+				bestNs = ns
+			}
+			allocs = r.AllocsPerOp()
+		}
+		return bestNs, allocs
+	}
+
+	baseNs, baseAllocs := measure(nil)
+	nopNs, nopAllocs := measure(probe.Nop{})
+
+	if nopAllocs != baseAllocs {
+		t.Errorf("no-op observer changes allocations: %d -> %d allocs/op", baseAllocs, nopAllocs)
+	}
+	ratio := nopNs / baseNs
+	t.Logf("nil %.0f ns/op, Nop %.0f ns/op (%.4fx), %d allocs/op", baseNs, nopNs, ratio, baseAllocs)
+	if ratio > 1.02 {
+		t.Errorf("no-op observer costs %.2f%% latency, budget is 2%%", (ratio-1)*100)
+	}
+}
