@@ -17,9 +17,11 @@
 //	                 table4 for names), or "custom" with the flags below
 //	-features N -bits N -sv N -classes N -mem BYTES   custom SVM shape
 //	-config modern-stt|projected-stt|she              technology
-//	-source solar|constant|rf                         power source
+//	-source solar|constant|rf|trace                   power source
 //	-power W         source power: solar/RF peak or constant level
 //	-period S        solar day/night period
+//	-trace-file F    "seconds watts" power trace for -source trace
+//	-trace-tail P    end-of-trace policy: hold, loop, zero
 //	-cap F           capacitor override (farads)
 //	-vsample S       voltage sample decimation (0 disables the track)
 //	-out FILE        trace path (default: derived from the workload name)
@@ -57,9 +59,11 @@ func run(args []string, stdout io.Writer) error {
 	classes := fs.Int("classes", 2, "custom SVM: classes")
 	memBytes := fs.Int64("mem", 1<<20, "custom SVM: provisioned array bytes")
 	config := fs.String("config", "modern-stt", "technology: modern-stt, projected-stt, she")
-	source := fs.String("source", "solar", "power source: solar, constant, rf")
+	source := fs.String("source", "solar", "power source: solar, constant, rf, trace")
 	watts := fs.Float64("power", 100e-6, "source power in watts (solar/RF peak, constant level)")
 	period := fs.Float64("period", 0.5, "solar day/night period in seconds")
+	traceFile := fs.String("trace-file", "", `power trace file for -source trace ("seconds watts" per line)`)
+	traceTail := fs.String("trace-tail", "hold", "end-of-trace policy: hold, loop, zero")
 	capF := fs.Float64("cap", 0, "capacitor override in farads (0 = technology default)")
 	vsample := fs.Float64("vsample", 1e-3, "capacitor voltage sample interval in seconds (0 = no voltage track)")
 	outPath := fs.String("out", "", "trace output path (default derived from the workload name)")
@@ -94,6 +98,9 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	var src power.Source
+	// powerTrace stays non-nil only for -source trace, so the post-run
+	// report can surface whether the run outlived the recording.
+	var powerTrace *power.Trace
 	switch *source {
 	case "solar":
 		src = power.Solar{Peak: *watts, Period: *period}
@@ -103,6 +110,25 @@ func run(args []string, stdout io.Writer) error {
 		// Mean dwell times mirror the solar period's duty so the flags
 		// stay shared; the seed is fixed for reproducible traces.
 		src = power.NewRFBursts(*watts, *period/2, *period/2, 1)
+	case "trace":
+		if *traceFile == "" {
+			return fmt.Errorf("-source trace requires -trace-file")
+		}
+		tail, err := power.ParseTailPolicy(*traceTail)
+		if err != nil {
+			return err
+		}
+		tf, err := os.Open(*traceFile)
+		if err != nil {
+			return err
+		}
+		tr, err := power.ParseTrace(tf, tail)
+		tf.Close()
+		if err != nil {
+			return fmt.Errorf("%s: %w", *traceFile, err)
+		}
+		powerTrace = &tr
+		src = tr
 	default:
 		return fmt.Errorf("unknown source %q", *source)
 	}
@@ -143,6 +169,12 @@ func run(args []string, stdout io.Writer) error {
 	res, runErr := r.Run(spec.Stream(), h)
 	if err := tw.Close(); err != nil {
 		return fmt.Errorf("writing %s: %w", path, err)
+	}
+	if powerTrace != nil && h.Now() > powerTrace.End() {
+		// Surface end-of-trace explicitly: past this point the numbers
+		// reflect the tail policy, not recorded data.
+		fmt.Fprintf(stdout, "note: the run outlived its power trace (trace ends at %.6g s, run ended at %.6g s); the %q tail policy supplied the remainder\n",
+			powerTrace.End(), h.Now(), powerTrace.Tail)
 	}
 	if runErr != nil {
 		return runErr

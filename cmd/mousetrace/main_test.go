@@ -147,3 +147,40 @@ func TestRunRejectsBadFlags(t *testing.T) {
 		}
 	}
 }
+
+// TestTraceSourceEndOfTrace: a recorded power trace shorter than the
+// run must be surfaced — the note names the tail policy that supplied
+// the remainder — and -trace-file/-trace-tail plumb through ParseTrace.
+func TestTraceSourceEndOfTrace(t *testing.T) {
+	dir := t.TempDir()
+	traceFile := filepath.Join(dir, "supply.txt")
+	// Plenty of power, but the recording ends after 1 ms; a hold tail
+	// keeps the final wattage so the run still completes.
+	if err := os.WriteFile(traceFile, []byte("# short recording\n0 5e-5\n1e-3 5e-5\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	args := []string{
+		"-workload", "custom", "-features", "4", "-bits", "1", "-sv", "2",
+		"-classes", "2", "-source", "trace", "-trace-file", traceFile,
+		"-trace-tail", "hold", "-cap", "1e-7", "-vsample", "0",
+		"-out", filepath.Join(dir, "out.trace.json"),
+	}
+	var stdout bytes.Buffer
+	if err := run(args, &stdout); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stdout.String(), "outlived its power trace") ||
+		!strings.Contains(stdout.String(), `"hold" tail policy`) {
+		t.Errorf("end-of-trace note missing:\n%s", stdout.String())
+	}
+
+	for name, extra := range map[string][]string{
+		"missing file": {"-source", "trace", "-trace-file", filepath.Join(dir, "nope.txt")},
+		"no file":      {"-source", "trace"},
+		"bad tail":     {"-source", "trace", "-trace-file", traceFile, "-trace-tail", "forever"},
+	} {
+		if err := run(append([]string{"-out", filepath.Join(dir, "x.json")}, extra...), &bytes.Buffer{}); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}

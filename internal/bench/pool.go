@@ -41,6 +41,14 @@ func clampWorkers(workers, n int) int {
 // function. workers <= 0 selects DefaultWorkers(); workers == 1 runs
 // the jobs serially on the calling goroutine.
 func runJobs[T any](workers, n int, job func(i int) (T, error)) ([]T, error) {
+	return Jobs(workers, n, job)
+}
+
+// Jobs is the exported worker pool other engines (the fault-injection
+// sweep) build on: n independent jobs, at most workers concurrent,
+// results ordered by job index with the lowest-indexed error returned.
+// See runJobs for the full contract.
+func Jobs[T any](workers, n int, job func(i int) (T, error)) ([]T, error) {
 	results := make([]T, n)
 	errs := make([]error, n)
 	workers = clampWorkers(workers, n)

@@ -86,3 +86,34 @@ func TestSweepStressHighParallelism(t *testing.T) {
 		}
 	}
 }
+
+// TestJobsExportedContract: Jobs is the pool other engines (the
+// fault-injection sweep) build on; its (result, error) pair must be
+// identical at any parallelism.
+func TestJobsExported(t *testing.T) {
+	job := func(i int) (string, error) {
+		if i == 5 {
+			return "", fmt.Errorf("job 5 failed")
+		}
+		return fmt.Sprintf("r%d", i), nil
+	}
+	serialOut, serialErr := Jobs(1, 12, job)
+	parallelOut, parallelErr := Jobs(8, 12, job)
+	if serialOut != nil || parallelOut != nil {
+		t.Fatalf("failed grid returned results: %v / %v", serialOut, parallelOut)
+	}
+	if serialErr == nil || parallelErr == nil || serialErr.Error() != parallelErr.Error() {
+		t.Fatalf("errors diverge across parallelism: %v vs %v", serialErr, parallelErr)
+	}
+	ok := func(i int) (string, error) { return fmt.Sprintf("r%d", i), nil }
+	a, err1 := Jobs(1, 12, ok)
+	b, err2 := Jobs(8, 12, ok)
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	for i := range a {
+		if a[i] != b[i] || a[i] != fmt.Sprintf("r%d", i) {
+			t.Fatalf("result[%d] %q vs %q", i, a[i], b[i])
+		}
+	}
+}

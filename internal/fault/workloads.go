@@ -1,0 +1,216 @@
+package fault
+
+import (
+	"fmt"
+	"sort"
+
+	"mouse/internal/array"
+	"mouse/internal/bnn"
+	"mouse/internal/compile"
+	"mouse/internal/controller"
+	"mouse/internal/energy"
+	"mouse/internal/isa"
+	"mouse/internal/mtj"
+	"mouse/internal/sim"
+	"mouse/internal/svm"
+)
+
+// Built-in sweep workloads. Each is deliberately small enough that an
+// exhaustive boundary × fraction sweep finishes in seconds, yet real
+// enough to exercise every instruction kind, both logic engines, and
+// the full dual-PC commit protocol: a multiplier chain (the ≥200
+// instruction reference workload), a hand-built two-class SVM using the
+// production application mapping, and a hand-built BNN with a hidden
+// layer. Models are constructed directly — not trained — so every run
+// of every workload is bit-deterministic.
+
+// arithRows/arithCols size the multiplier workload's single tile.
+const (
+	arithRows = 128
+	arithCols = 8
+)
+
+// compiledArith builds the reference program: an 8×8 multiply whose
+// product feeds a second multiply, plus a row transfer through the
+// memory buffer, so the stream covers ACT, preset, logic, read, and
+// write kinds. Returns the input words for seeding.
+func compiledArith() (isa.Program, compile.Word, compile.Word, error) {
+	b := compile.NewBuilder(arithRows)
+	cols := make([]uint16, arithCols)
+	for i := range cols {
+		cols[i] = uint16(i)
+	}
+	b.ActivateBroadcast(cols)
+	x := b.AllocWord(8, 0)
+	y := b.AllocWord(8, 0)
+	p := b.MulWords(x, y)
+	q := b.MulWords(p[:8], x)
+	b.FreeWord(p)
+	b.Emit(isa.Read(0, q[0].Row))
+	b.Emit(isa.Write(0, q[1].Row))
+	prog, err := b.Program()
+	return prog, x, y, err
+}
+
+// Arith is the ≥200-instruction multiplier-chain workload.
+func Arith(cfg *mtj.Config) Workload {
+	return Workload{
+		Name: "arith",
+		New: func() (*controller.Controller, error) {
+			prog, x, y, err := compiledArith()
+			if err != nil {
+				return nil, err
+			}
+			m := array.NewMachine(cfg, 1, arithRows, arithCols)
+			for c := 0; c < arithCols; c++ {
+				for i, w := range x {
+					m.Tiles[0].SetBit(w.Row, c, (c*5+3)>>i&1)
+				}
+				for i, w := range y {
+					m.Tiles[0].SetBit(w.Row, c, (c*7+11)>>i&1)
+				}
+			}
+			return controller.New(controller.ProgramStore(prog), m), nil
+		},
+	}
+}
+
+// tinySVMModel hand-constructs a two-class, two-feature quantized SVM.
+func tinySVMModel() *svm.IntModel {
+	return &svm.IntModel{
+		Features:  2,
+		Classes:   2,
+		Shift:     0,
+		CoeffBits: 4,
+		AccBits:   10,
+		Machines: []svm.IntBinary{
+			{SV: [][]int{{1, 0}, {0, 1}}, Q: []int64{3, -2}, QBias: 1},
+			{SV: [][]int{{1, 1}}, Q: []int64{2}, QBias: -1},
+		},
+	}
+}
+
+// svmRows sizes the SVM workload's tile.
+const svmRows = 96
+
+// TinySVM compiles the hand-built SVM through the production
+// application mapping and loads a fixed binarized input.
+func TinySVM(cfg *mtj.Config) Workload {
+	return Workload{
+		Name: "tiny-svm",
+		New: func() (*controller.Controller, error) {
+			im := tinySVMModel()
+			mp, err := svm.CompileMapping(im, svmRows, 1)
+			if err != nil {
+				return nil, err
+			}
+			m := array.NewMachine(cfg, 1, svmRows, arithCols)
+			input := []int{1, 1}
+			for c := 0; c < mp.Columns; c++ {
+				for j, rows := range mp.InputRows {
+					for i, row := range rows {
+						m.Tiles[0].SetBit(row, c, input[j]>>i&1)
+					}
+				}
+			}
+			return controller.New(controller.ProgramStore(mp.Prog), m), nil
+		},
+	}
+}
+
+// tinyBNNNetwork hand-constructs a 6-4-2 binarized network with
+// deterministic weights and biases.
+func tinyBNNNetwork() *bnn.Network {
+	n := &bnn.Network{
+		Cfg: bnn.Config{Name: "tiny-bnn", In: 6, Hidden: []int{4}, Out: 2, InputBits: 1},
+	}
+	widths := n.Cfg.Widths()
+	for l := 0; l+1 < len(widths); l++ {
+		layer := bnn.Layer{
+			W:    make([][]uint8, widths[l+1]),
+			Bias: make([]int, widths[l+1]),
+		}
+		for j := range layer.W {
+			layer.W[j] = make([]uint8, widths[l])
+			for i := range layer.W[j] {
+				layer.W[j][i] = uint8((i + j) % 2)
+			}
+			layer.Bias[j] = j - 1
+		}
+		n.Layers = append(n.Layers, layer)
+	}
+	return n
+}
+
+// bnnRows/bnnCols size the BNN workload's tile and batch.
+const (
+	bnnRows = 96
+	bnnCols = 4
+)
+
+// TinyBNN compiles the hand-built network through the production
+// application mapping, one input sample per batch column.
+func TinyBNN(cfg *mtj.Config) Workload {
+	return Workload{
+		Name: "tiny-bnn",
+		New: func() (*controller.Controller, error) {
+			n := tinyBNNNetwork()
+			mp, err := bnn.CompileMapping(n, bnnRows, bnnCols)
+			if err != nil {
+				return nil, err
+			}
+			m := array.NewMachine(cfg, 1, bnnRows, arithCols)
+			for c := 0; c < bnnCols; c++ {
+				for i, row := range mp.InputRows {
+					m.Tiles[0].SetBit(row, c, (i+c)%2)
+				}
+			}
+			return controller.New(controller.ProgramStore(mp.Prog), m), nil
+		},
+	}
+}
+
+// ArithStream is the trace-layer form of the multiplier workload: the
+// same program priced analytically.
+func ArithStream(cfg *mtj.Config) (StreamWorkload, error) {
+	prog, _, _, err := compiledArith()
+	if err != nil {
+		return StreamWorkload{}, err
+	}
+	model := energy.NewModel(cfg)
+	model.RowBits = arithCols
+	return StreamWorkload{
+		Name:  "arith",
+		Model: model,
+		New:   func() sim.OpStream { return sim.StreamFromProgram(prog, 1) },
+	}, nil
+}
+
+// Workloads returns the built-in machine-layer workload registry keyed
+// by CLI name.
+func Workloads(cfg *mtj.Config) map[string]Workload {
+	ws := map[string]Workload{}
+	for _, w := range []Workload{Arith(cfg), TinySVM(cfg), TinyBNN(cfg)} {
+		ws[w.Name] = w
+	}
+	return ws
+}
+
+// WorkloadNames returns the registry's names, sorted.
+func WorkloadNames(cfg *mtj.Config) []string {
+	ws := Workloads(cfg)
+	names := make([]string, 0, len(ws))
+	for name := range ws {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// LookupWorkload resolves a CLI workload name.
+func LookupWorkload(cfg *mtj.Config, name string) (Workload, error) {
+	if w, ok := Workloads(cfg)[name]; ok {
+		return w, nil
+	}
+	return Workload{}, fmt.Errorf("fault: unknown workload %q (have %v)", name, WorkloadNames(cfg))
+}

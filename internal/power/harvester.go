@@ -1,10 +1,17 @@
 package power
 
 import (
+	"errors"
 	"fmt"
 
 	"mouse/internal/probe"
 )
+
+// ErrInvalidHarvester marks a harvester whose configuration cannot
+// execute the voltage-window protocol (and would previously hang or
+// silently misbehave inside ChargeUntilOn). Typed so callers can
+// errors.Is it.
+var ErrInvalidHarvester = errors.New("power: invalid harvester")
 
 // Harvester combines a power source, the capacitor buffer, and the
 // voltage-window policy into the stepping model the intermittent
@@ -51,6 +58,29 @@ func NewHarvester(src Source, capacitance, vOff, vOn float64) *Harvester {
 // Now returns the simulation clock in seconds.
 func (h *Harvester) Now() float64 { return h.now }
 
+// Validate checks the harvester's physical configuration: a positive
+// capacitance, a positive voltage window ordered vOn > vOff > 0, and a
+// cap VMax that does not sit below the restart voltage. ChargeUntilOn
+// calls it so a misconfigured harvester fails with a typed error
+// instead of hanging in the charge loop (a zero-capacitance buffer, for
+// example, reaches its target energy of zero instantly yet can never
+// hold a voltage window).
+func (h *Harvester) Validate() error {
+	switch {
+	case h.Src == nil:
+		return fmt.Errorf("%w: nil power source", ErrInvalidHarvester)
+	case h.Cap == nil || h.Cap.C <= 0:
+		return fmt.Errorf("%w: capacitance must be > 0", ErrInvalidHarvester)
+	case h.VOff <= 0:
+		return fmt.Errorf("%w: shutdown voltage %g must be > 0", ErrInvalidHarvester, h.VOff)
+	case h.VOn <= h.VOff:
+		return fmt.Errorf("%w: restart voltage %g must exceed shutdown voltage %g", ErrInvalidHarvester, h.VOn, h.VOff)
+	case h.VMax != 0 && h.VMax < h.VOn:
+		return fmt.Errorf("%w: voltage cap %g sits below restart voltage %g", ErrInvalidHarvester, h.VMax, h.VOn)
+	}
+	return nil
+}
+
 // sample emits a decimated voltage sample; force bypasses the
 // decimation for envelope points (brown-out, recharge complete). The
 // nil check keeps unobserved harvesters at one branch per step.
@@ -78,6 +108,9 @@ const chargeQuantum = 1e-3 // seconds
 // returns an error if the source cannot reach VOn within maxWait seconds
 // (non-termination guard).
 func (h *Harvester) ChargeUntilOn(maxWait float64) (float64, error) {
+	if err := h.Validate(); err != nil {
+		return 0, err
+	}
 	start := h.now
 	target := 0.5 * h.Cap.C * h.VOn * h.VOn
 	if c, isConst := h.Src.(Constant); isConst {

@@ -7,10 +7,13 @@
 package power
 
 import (
+	"bufio"
 	"fmt"
+	"io"
 	"math"
 	"math/rand"
 	"sort"
+	"strings"
 )
 
 // Source provides harvested power as a function of time.
@@ -34,18 +37,92 @@ func (c Constant) Power(float64) float64 { return c.W }
 // Name describes the source.
 func (c Constant) Name() string { return fmt.Sprintf("constant %.3g W", c.W) }
 
+// TailPolicy selects what a Trace supplies once the simulation clock
+// passes its last point. The policy is explicit because the implicit
+// alternative is a hazard: a recorded trace that happens to end at (or
+// near) zero watts silently starves any run that outlives it, and the
+// resulting outage looks like a property of the workload instead of an
+// artifact of the recording's length.
+type TailPolicy int
+
+const (
+	// TailHold keeps supplying the final recorded value forever (the
+	// default, matching the historical behaviour).
+	TailHold TailPolicy = iota
+	// TailLoop repeats the trace cyclically: time past the end wraps
+	// back to the first point, modeling a periodic environment recorded
+	// over one period.
+	TailLoop
+	// TailZero supplies nothing past the end — the honest policy when
+	// the recording's end really is the end of available energy; runs
+	// that outlive the trace brown out (and trip the simulator's
+	// non-termination guard rather than hanging).
+	TailZero
+)
+
+func (p TailPolicy) String() string {
+	switch p {
+	case TailHold:
+		return "hold"
+	case TailLoop:
+		return "loop"
+	case TailZero:
+		return "zero"
+	}
+	return fmt.Sprintf("tail(%d)", int(p))
+}
+
+// ParseTailPolicy resolves a CLI spelling of a tail policy.
+func ParseTailPolicy(s string) (TailPolicy, error) {
+	switch s {
+	case "hold":
+		return TailHold, nil
+	case "loop":
+		return TailLoop, nil
+	case "zero":
+		return TailZero, nil
+	}
+	return TailHold, fmt.Errorf("power: unknown trace tail policy %q (hold, loop, zero)", s)
+}
+
 // Trace is a piecewise-constant power trace: Watts[i] applies from
-// Times[i] (seconds) until Times[i+1]; before Times[0] the power is 0 and
-// after the last point the final value holds.
+// Times[i] (seconds) until Times[i+1]; before Times[0] the power is 0.
+// After the last point the Tail policy rules: hold the final value
+// (default), loop the trace, or drop to zero.
 type Trace struct {
 	Times []float64
 	Watts []float64
+	Tail  TailPolicy
+}
+
+// End returns the trace's last timestamp (0 for an empty trace): the
+// moment the Tail policy takes over. Callers surfacing end-of-trace
+// behaviour (mousetrace) compare the run's final clock against it.
+func (tr Trace) End() float64 {
+	if len(tr.Times) == 0 {
+		return 0
+	}
+	return tr.Times[len(tr.Times)-1]
 }
 
 // Power returns the traced wattage at time t.
 func (tr Trace) Power(t float64) float64 {
 	if len(tr.Times) == 0 {
 		return 0
+	}
+	if end := tr.End(); t > end {
+		switch tr.Tail {
+		case TailLoop:
+			span := end - tr.Times[0]
+			if span <= 0 {
+				return tr.Watts[len(tr.Watts)-1]
+			}
+			// Wrap into [Times[0], end); math.Mod keeps long simulations
+			// exact enough (the trace grid is coarse by construction).
+			t = tr.Times[0] + math.Mod(t-tr.Times[0], span)
+		case TailZero:
+			return 0
+		}
 	}
 	last := 0.0
 	for i, ts := range tr.Times {
@@ -58,13 +135,52 @@ func (tr Trace) Power(t float64) float64 {
 }
 
 // Name describes the source: point count plus the time span the points
-// cover, so sweep tables over different traces are self-describing.
+// cover (and any non-default tail policy), so sweep tables over
+// different traces are self-describing.
 func (tr Trace) Name() string {
 	if len(tr.Times) == 0 {
 		return "trace (empty)"
 	}
 	span := tr.Times[len(tr.Times)-1] - tr.Times[0]
+	if tr.Tail != TailHold {
+		return fmt.Sprintf("trace (%d points over %.3g s, tail %s)", len(tr.Times), span, tr.Tail)
+	}
 	return fmt.Sprintf("trace (%d points over %.3g s)", len(tr.Times), span)
+}
+
+// ParseTrace reads a whitespace-separated "seconds watts" trace, one
+// point per line; blank lines and #-comments are skipped. Points must
+// be non-negative and strictly increasing in time.
+func ParseTrace(r io.Reader, tail TailPolicy) (Trace, error) {
+	tr := Trace{Tail: tail}
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		var ts, w float64
+		if _, err := fmt.Sscan(text, &ts, &w); err != nil {
+			return Trace{}, fmt.Errorf("power: trace line %d %q: %w", line, text, err)
+		}
+		if w < 0 {
+			return Trace{}, fmt.Errorf("power: trace line %d: negative power %g", line, w)
+		}
+		if n := len(tr.Times); n > 0 && ts <= tr.Times[n-1] {
+			return Trace{}, fmt.Errorf("power: trace line %d: time %g not after %g", line, ts, tr.Times[n-1])
+		}
+		tr.Times = append(tr.Times, ts)
+		tr.Watts = append(tr.Watts, w)
+	}
+	if err := sc.Err(); err != nil {
+		return Trace{}, err
+	}
+	if len(tr.Times) == 0 {
+		return Trace{}, fmt.Errorf("power: trace has no points")
+	}
+	return tr, nil
 }
 
 // Solar is a half-sine "daylight" source: power follows

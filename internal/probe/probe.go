@@ -75,6 +75,35 @@ type Restore struct {
 	Energy float64
 }
 
+// Fault describes one scheduled crash injection. It is emitted by the
+// fault-injection engine (not by runners) just before the injected run
+// starts, so a shared observer can correlate the outage events that
+// follow with the schedule that caused them.
+type Fault struct {
+	// Index and Frac are the scheduled crash point: the µ-phase fraction
+	// of the Index-th committed instruction.
+	Index int
+	Frac  float64
+	// WindowJ is the pre-charged energy window realizing the crash.
+	WindowJ float64
+}
+
+// FaultObserver is the optional extension an Observer implements to
+// receive fault-injection schedule events. It is separate from Observer
+// so existing implementations keep compiling; EmitFault delivers to
+// observers that opt in.
+type FaultObserver interface {
+	FaultInjected(ev Fault)
+}
+
+// EmitFault delivers ev to obs when it implements FaultObserver (Multi
+// fans out to every member that does); otherwise it is a no-op.
+func EmitFault(obs Observer, ev Fault) {
+	if f, ok := obs.(FaultObserver); ok {
+		f.FaultInjected(ev)
+	}
+}
+
 // Observer receives the typed event stream of a simulation run.
 //
 // Implementations must not assume any particular goroutine: the sweep
@@ -200,5 +229,13 @@ func (m Multi) VoltageSample(t, volts float64) {
 func (m Multi) TileWrite(tile, bits int) {
 	for _, o := range m {
 		o.TileWrite(tile, bits)
+	}
+}
+
+// FaultInjected implements FaultObserver, delivering to every member
+// that opts in.
+func (m Multi) FaultInjected(ev Fault) {
+	for _, o := range m {
+		EmitFault(o, ev)
 	}
 }

@@ -79,6 +79,7 @@ type Stats struct {
 	outages      atomic.Uint64
 	restores     atomic.Uint64
 	voltSamples  atomic.Uint64
+	faults       atomic.Uint64
 
 	byKind [maxKinds]atomic.Uint64
 
@@ -159,6 +160,9 @@ func (s *Stats) VoltageSample(_, volts float64) {
 	s.voltMax.Max(volts)
 }
 
+// FaultInjected implements FaultObserver.
+func (s *Stats) FaultInjected(Fault) { s.faults.Add(1) }
+
 // TileWrite implements Observer.
 func (s *Stats) TileWrite(tile, bits int) {
 	if tile < 0 {
@@ -216,6 +220,7 @@ type Section struct {
 	Interrupts     uint64            `json:"interrupts"`
 	Outages        uint64            `json:"outages"`
 	Restores       uint64            `json:"restores"`
+	FaultsInjected uint64            `json:"faults_injected,omitempty"`
 	ByKind         map[string]uint64 `json:"instructions_by_kind,omitempty"`
 	Energy         PhaseEnergy       `json:"energy"`
 	BusySeconds    float64           `json:"busy_seconds"`
@@ -233,11 +238,12 @@ type Section struct {
 // reporting.
 func (s *Stats) Section() *Section {
 	sec := &Section{
-		Instructions: s.instructions.Load(),
-		Replays:      s.replays.Load(),
-		Interrupts:   s.interrupts.Load(),
-		Outages:      s.outages.Load(),
-		Restores:     s.restores.Load(),
+		Instructions:   s.instructions.Load(),
+		Replays:        s.replays.Load(),
+		Interrupts:     s.interrupts.Load(),
+		Outages:        s.outages.Load(),
+		Restores:       s.restores.Load(),
+		FaultsInjected: s.faults.Load(),
 		Energy: PhaseEnergy{
 			Compute: s.computeEnergy.Load(),
 			Backup:  s.backupEnergy.Load(),

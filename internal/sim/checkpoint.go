@@ -24,10 +24,18 @@ import (
 // paper's "additional presetting operations").
 //
 // interval = 1 reproduces MOUSE's per-instruction checkpointing.
-func (r *Runner) RunWithCheckpointInterval(s OpStream, h *power.Harvester, interval int) (Result, error) {
+func (r *Runner) RunWithCheckpointInterval(s OpStream, h *power.Harvester, interval int) (res Result, err error) {
 	if interval < 1 {
-		return Result{}, fmt.Errorf("sim: checkpoint interval %d must be ≥ 1", interval)
+		return Result{}, fmt.Errorf("%w (got %d)", ErrBadInterval, interval)
 	}
+	// Same stream-position contract as Run: start from the beginning,
+	// rewind again if the run fails.
+	s.Reset()
+	defer func() {
+		if err != nil {
+			s.Reset()
+		}
+	}()
 	var b energy.Breakdown
 	var replays uint64
 	dt := r.Model.CycleTime()

@@ -1,0 +1,96 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+
+	"mouse/internal/energy"
+	"mouse/internal/isa"
+	"mouse/internal/mtj"
+)
+
+// Regression tests for the stream-position contract: Run (and the
+// checkpoint variant) must start from the stream's beginning even if a
+// caller — or a previous failed run — left the stream mid-position, and
+// a failed run must rewind the stream on the way out. Before the fix, a
+// run aborted by ErrNonTermination left the stream pointing at the
+// failing op, so a retry silently executed only the program's suffix.
+
+// TestRunResetsAdvancedStream: a stream advanced by the caller still
+// executes from op 0.
+func TestRunResetsAdvancedStream(t *testing.T) {
+	cfg := mtj.ModernSTT()
+	r := NewRunner(energy.NewModel(cfg))
+	s := &SliceStream{Ops: opsFixture(50)}
+	s.Next()
+	s.Next() // leave the stream mid-position
+	res, err := r.Run(s, harvester(cfg, 60e-6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Instructions != 50 {
+		t.Fatalf("ran %d instructions, want all 50", res.Instructions)
+	}
+}
+
+// TestFailedRunRewindsStream: after an aborted run, the same stream
+// re-runs in full once the blocker is fixed.
+func TestFailedRunRewindsStream(t *testing.T) {
+	cfg := mtj.ModernSTT()
+	r := NewRunner(energy.NewModel(cfg))
+	ops := opsFixture(40)
+	// A mid-program op no single buffer discharge can pay for.
+	ops[20] = energy.Op{Kind: isa.KindLogic, Gate: mtj.NAND2, ActivePairs: 1 << 30}
+	s := &SliceStream{Ops: ops}
+	if _, err := r.Run(s, harvester(cfg, 60e-6)); !errors.Is(err, ErrNonTermination) {
+		t.Fatalf("expected non-termination, got %v", err)
+	}
+	if op, ok := s.Next(); !ok || op.Kind != isa.KindAct {
+		t.Fatalf("failed run left the stream mid-position (next op %+v, ok %v)", op, ok)
+	}
+
+	// With the pathological op fixed, the very same stream object must
+	// execute the whole program, not a suffix.
+	ops[20] = energy.Op{Kind: isa.KindLogic, Gate: mtj.NAND2, ActivePairs: 64}
+	res, err := r.Run(s, harvester(cfg, 60e-6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Instructions != 40 {
+		t.Fatalf("retry ran %d instructions, want all 40", res.Instructions)
+	}
+}
+
+// TestCheckpointRunResetsStream: the checkpoint-interval variant honors
+// the same contract.
+func TestCheckpointRunResetsStream(t *testing.T) {
+	cfg := mtj.ModernSTT()
+	r := NewRunner(energy.NewModel(cfg))
+	s := &SliceStream{Ops: opsFixture(30)}
+	s.Next()
+	res, err := r.RunWithCheckpointInterval(s, harvester(cfg, 60e-6), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Instructions != 30 {
+		t.Fatalf("ran %d instructions, want all 30", res.Instructions)
+	}
+}
+
+// TestBadCheckpointInterval: interval < 1 fails typed, before touching
+// the harvester or the stream.
+func TestBadCheckpointInterval(t *testing.T) {
+	cfg := mtj.ModernSTT()
+	r := NewRunner(energy.NewModel(cfg))
+	for _, interval := range []int{0, -1, -100} {
+		s := &SliceStream{Ops: opsFixture(5)}
+		s.Next() // position must be left untouched by the rejected call
+		_, err := r.RunWithCheckpointInterval(s, harvester(cfg, 60e-6), interval)
+		if !errors.Is(err, ErrBadInterval) {
+			t.Fatalf("interval %d: got %v, want ErrBadInterval", interval, err)
+		}
+		if s.pos != 1 {
+			t.Errorf("interval %d: rejected call moved the stream to %d", interval, s.pos)
+		}
+	}
+}

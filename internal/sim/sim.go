@@ -68,6 +68,11 @@ func (s *SliceStream) Reset() { s.pos = 0 }
 // non-termination hazard of Section I).
 var ErrNonTermination = errors.New("sim: non-termination: an instruction exceeds the energy buffer's budget")
 
+// ErrBadInterval reports a checkpoint interval below 1, which has no
+// protocol meaning (there is no such thing as committing more than once
+// per instruction). Typed so sweep drivers can errors.Is it.
+var ErrBadInterval = errors.New("sim: checkpoint interval must be >= 1")
+
 // Runner executes operation streams.
 type Runner struct {
 	Model *energy.Model
@@ -101,6 +106,7 @@ type Result struct {
 // RunContinuous executes the stream under continuous power: no outages,
 // no Dead/Restore costs (Section IX, Table IV).
 func (r *Runner) RunContinuous(s OpStream) Result {
+	s.Reset()
 	var b energy.Breakdown
 	dt := r.Model.CycleTime()
 	lastLevel := 0
@@ -134,7 +140,17 @@ func (r *Runner) RunContinuous(s OpStream) Result {
 // shutdown/restore/re-execute protocol on every outage. The stream's
 // activation state is tracked so Restore is priced by the number of
 // columns that must be re-latched.
-func (r *Runner) Run(s OpStream, h *power.Harvester) (Result, error) {
+func (r *Runner) Run(s OpStream, h *power.Harvester) (res Result, err error) {
+	// A stream left mid-position by a previous failed run (for example
+	// after ErrNonTermination) must not silently execute only a suffix
+	// on reuse: every run starts from the beginning, and a failed run
+	// rewinds the stream again on the way out.
+	s.Reset()
+	defer func() {
+		if err != nil {
+			s.Reset()
+		}
+	}()
 	var b energy.Breakdown
 	var replays uint64
 	dt := r.Model.CycleTime()
