@@ -1,9 +1,10 @@
 // mousevet statically verifies MOUSE programs before they are deployed:
 // it runs the internal/lint rule suite — address bounds, define-before-
 // use, dead writes, column-activation discipline, checkpoint replay
-// safety, and energy forward progress — over assembly sources and binary
-// program images, and exits non-zero when any error-severity finding
-// would make the program misbehave at inference time.
+// safety, energy forward progress, and per-region worst-case energy —
+// over assembly sources and binary program images, and exits non-zero
+// when any error-severity finding would make the program misbehave at
+// inference time.
 //
 // Usage:
 //
@@ -11,15 +12,33 @@
 //
 //	-json                                  machine-readable report
 //	-all                                   also print info-severity findings
+//	-werror                                treat warnings as errors for the exit code
 //	-rules bounds,energy                   run only the listed rules (empty = all; "help" lists them)
 //	-tiles N -rows N -cols N               deployed geometry (default: full ISA space)
-//	-config modern-stt|projected-stt|she   technology for the energy rule
+//	-config modern-stt|projected-stt|she   technology for the energy rules
 //	-cap F                                 capacitor override in farads
-//	-interval N                            checkpoint interval for the replay rule
+//	-interval N                            checkpoint interval for the replay and wce rules
+//	-cert                                  emit the per-region worst-case-energy certificate
+//
+// Exit codes are a contract, for CI use:
+//
+//	0  no error-severity findings (warnings and infos may exist, unless
+//	   -werror, which promotes warnings to the error exit)
+//	1  at least one error-severity finding (or warning under -werror)
+//	2  usage, configuration, I/O, or parse failure — nothing was verified
 //
 // Inputs are detected by content: files beginning with the MOUSEPRG
 // magic are decoded as images; everything else is parsed as assembly,
 // with diagnostics mapped back to source lines.
+//
+// With -cert, mousevet emits the mouse-wce/v1 certificate produced by
+// lint.Certify on stdout (text diagnostics move to stderr so the
+// certificate pipes cleanly): one worst-case-energy bound per checkpoint region,
+// proving (or refuting, via the wce rule's diagnostics and exit 1) that
+// every region completes within one capacitor discharge — the bound the
+// checkpoint-placement optimizer consumes. Combined with -cap, this
+// answers "does this program make forward progress on an F-farad
+// buffer?" before deployment.
 package main
 
 import (
@@ -38,7 +57,7 @@ import (
 )
 
 func main() {
-	code, err := run(os.Args[1:], os.Stdout)
+	code, err := run(os.Args[1:], os.Stdout, os.Stderr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mousevet:", err)
 		os.Exit(2)
@@ -53,23 +72,30 @@ var imageMagic = []byte("MOUSEPRG")
 type fileReport struct {
 	File        string            `json:"file"`
 	Diagnostics []lint.Diagnostic `json:"diagnostics"`
+	// Certificate is the worst-case-energy certificate, present with
+	// -cert when the program validates.
+	Certificate *lint.Certificate `json:"certificate,omitempty"`
 }
 
-// run executes the CLI and returns the process exit code: 0 clean,
-// 1 when any file has error-severity findings. Usage and I/O problems
-// are returned as errors (exit 2 in main).
-func run(args []string, stdout io.Writer) (int, error) {
+// run executes the CLI and returns the process exit code per the
+// contract in the package comment. Usage and I/O problems are returned
+// as errors (exit 2 in main). With -cert (and without -json) text
+// diagnostics go to stderr so stdout carries the certificate alone and
+// pipes cleanly into a JSON consumer.
+func run(args []string, stdout, stderr io.Writer) (int, error) {
 	fs := flag.NewFlagSet("mousevet", flag.ContinueOnError)
 	fs.SetOutput(stdout)
 	jsonOut := fs.Bool("json", false, "emit the report as JSON")
 	all := fs.Bool("all", false, "also print info-severity findings")
+	werror := fs.Bool("werror", false, "treat warnings as errors for the exit code")
 	rules := fs.String("rules", "", "comma-separated rule IDs to run (empty = all; \"help\" lists them)")
 	tiles := fs.Int("tiles", isa.MaxTiles, "deployed tile count")
 	rows := fs.Int("rows", isa.Rows, "rows per tile")
 	cols := fs.Int("cols", isa.Cols, "columns per tile")
 	config := fs.String("config", "modern-stt", "technology: modern-stt, projected-stt, she")
 	capF := fs.Float64("cap", 0, "capacitor override in farads (0 = technology default)")
-	interval := fs.Int("interval", 1, "checkpoint interval verified by the replay rule")
+	interval := fs.Int("interval", 1, "checkpoint interval verified by the replay and wce rules")
+	cert := fs.Bool("cert", false, "emit the per-region worst-case-energy certificate")
 	if err := fs.Parse(args); err != nil {
 		return 0, err
 	}
@@ -126,30 +152,51 @@ func run(args []string, stdout io.Writer) (int, error) {
 	}
 
 	var (
-		reports   []fileReport
-		hasErrors bool
+		reports  []fileReport
+		exitCode int
 	)
 	for _, path := range fs.Args() {
-		rep, err := lintFile(path, opts)
+		prog, lineMap, err := loadFile(path)
 		if err != nil {
 			return 0, err
 		}
-		if rep.HasErrors() {
-			hasErrors = true
+		opts.LineMap = lineMap
+		rep := lint.Lint(prog, opts)
+		if rep.HasErrors() || (*werror && rep.Count(lint.Warning) > 0) {
+			exitCode = 1
 		}
+
+		var c *lint.Certificate
+		if *cert {
+			// Certification needs a fully valid stream; when it is not,
+			// the report already carries the invalid-instruction errors.
+			c, _ = lint.Certify(prog, opts)
+		}
+
 		if *jsonOut {
-			fr := fileReport{File: path, Diagnostics: rep.Diagnostics}
+			fr := fileReport{File: path, Diagnostics: rep.Diagnostics, Certificate: c}
 			if fr.Diagnostics == nil {
 				fr.Diagnostics = []lint.Diagnostic{}
 			}
 			reports = append(reports, fr)
 			continue
 		}
+		diagOut := stdout
+		if *cert {
+			diagOut = stderr
+		}
 		for _, d := range rep.Diagnostics {
 			if d.Severity == lint.Info && !*all {
 				continue
 			}
-			fmt.Fprintf(stdout, "%s:%s\n", path, diagText(d))
+			fmt.Fprintf(diagOut, "%s:%s\n", path, diagText(d))
+		}
+		if c != nil {
+			enc := json.NewEncoder(stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(c); err != nil {
+				return 0, err
+			}
 		}
 	}
 	if *jsonOut {
@@ -159,10 +206,7 @@ func run(args []string, stdout io.Writer) (int, error) {
 			return 0, err
 		}
 	}
-	if hasErrors {
-		return 1, nil
-	}
-	return 0, nil
+	return exitCode, nil
 }
 
 // diagText renders a diagnostic for the file-prefixed text output:
@@ -178,29 +222,27 @@ func diagText(d lint.Diagnostic) string {
 	}
 }
 
-// lintFile loads one program — image or assembly, detected by content —
-// and lints it.
-func lintFile(path string, opts lint.Options) (lint.Report, error) {
+// loadFile loads one program — image or assembly, detected by content —
+// returning the instruction stream and, for assembly, the line map.
+func loadFile(path string) (isa.Program, []int, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return lint.Report{}, err
+		return nil, nil, err
 	}
 	if bytes.HasPrefix(data, imageMagic) {
 		prog, err := isa.ReadImage(bytes.NewReader(data))
 		if err != nil {
-			return lint.Report{}, fmt.Errorf("%s: %w", path, err)
+			return nil, nil, fmt.Errorf("%s: %w", path, err)
 		}
-		opts.LineMap = nil
-		return lint.Lint(prog, opts), nil
+		return prog, nil, nil
 	}
 	prog, lines, err := isa.ParseLines(bytes.NewReader(data))
 	if err != nil {
 		var pe *isa.ParseError
 		if errors.As(err, &pe) {
-			return lint.Report{}, fmt.Errorf("%s:%d: %v", path, pe.Line, pe.Err)
+			return nil, nil, fmt.Errorf("%s:%d: %v", path, pe.Line, pe.Err)
 		}
-		return lint.Report{}, fmt.Errorf("%s: %w", path, err)
+		return nil, nil, fmt.Errorf("%s: %w", path, err)
 	}
-	opts.LineMap = lines
-	return lint.Lint(prog, opts), nil
+	return prog, lines, nil
 }

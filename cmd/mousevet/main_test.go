@@ -25,14 +25,21 @@ var goldenCases = []struct {
 	{"deadwrite", []string{"-rules", "dead-write", "testdata/deadwrite.s"}, 0},
 	{"activation", []string{"-rules", "activation", "testdata/activation.s"}, 1},
 	{"replay", []string{"-interval", "2", "-rules", "replay", "testdata/replay.s"}, 1},
+	{"actreplay", []string{"-interval", "4", "-rules", "replay", "testdata/actreplay.s"}, 1},
 	{"energy", []string{"-cap", "1e-12", "-rules", "energy", "testdata/energy.s"}, 1},
+	// -werror promotes the dead-write warnings to the error exit while
+	// leaving the printed report unchanged.
+	{"werror", []string{"-werror", "-rules", "dead-write", "testdata/deadwrite.s"}, 1},
+	// -cert emits the per-region worst-case-energy certificate; a clean
+	// feasible program prints the certificate alone and exits 0.
+	{"cert", []string{"-cert", "-interval", "3", "testdata/clean.s"}, 0},
 }
 
 func TestGolden(t *testing.T) {
 	for _, tc := range goldenCases {
 		t.Run(tc.name, func(t *testing.T) {
 			var out bytes.Buffer
-			code, err := run(tc.args, &out)
+			code, err := run(tc.args, &out, &out)
 			if err != nil {
 				t.Fatalf("run(%v): %v", tc.args, err)
 			}
@@ -50,9 +57,64 @@ func TestGolden(t *testing.T) {
 	}
 }
 
+// The exit-code contract: 0 clean, 1 findings (warnings only under
+// -werror), 2 (an error return) for usage problems.
+func TestWErrorContract(t *testing.T) {
+	var out bytes.Buffer
+	// Without -werror, warnings exit 0.
+	code, err := run([]string{"-rules", "dead-write", "testdata/deadwrite.s"}, &out, &out)
+	if err != nil || code != 0 {
+		t.Fatalf("warnings without -werror: code=%d err=%v", code, err)
+	}
+	// With -werror, the same warnings exit 1.
+	code, err = run([]string{"-werror", "-rules", "dead-write", "testdata/deadwrite.s"}, &out, &out)
+	if err != nil || code != 1 {
+		t.Fatalf("warnings with -werror: code=%d err=%v", code, err)
+	}
+	// A clean file stays clean under -werror (infos do not promote).
+	code, err = run([]string{"-werror", "testdata/clean.s"}, &out, &out)
+	if err != nil || code != 0 {
+		t.Fatalf("clean file with -werror: code=%d err=%v", code, err)
+	}
+}
+
+// -json -cert attaches the certificate to the file report, and the
+// whole structure round-trips through encoding/json.
+func TestJSONCertificate(t *testing.T) {
+	var out bytes.Buffer
+	code, err := run([]string{"-json", "-cert", "-interval", "3", "testdata/clean.s"}, &out, &out)
+	if err != nil || code != 0 {
+		t.Fatalf("run: code=%d err=%v", code, err)
+	}
+	var reports []fileReport
+	if err := json.Unmarshal(out.Bytes(), &reports); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, out.String())
+	}
+	c := reports[0].Certificate
+	if c == nil {
+		t.Fatal("certificate missing from JSON report")
+	}
+	if c.Schema != lint.CertSchema || !c.Feasible || len(c.Regions) != 3 {
+		t.Errorf("unexpected certificate: %+v", c)
+	}
+	// A tiny capacitor flips the verdict and the exit code together.
+	out.Reset()
+	code, err = run([]string{"-json", "-cert", "-cap", "1e-12", "-interval", "3", "testdata/clean.s"}, &out, &out)
+	if err != nil || code != 1 {
+		t.Fatalf("infeasible cap: code=%d err=%v", code, err)
+	}
+	reports = nil
+	if err := json.Unmarshal(out.Bytes(), &reports); err != nil {
+		t.Fatal(err)
+	}
+	if c := reports[0].Certificate; c == nil || c.Feasible {
+		t.Errorf("tiny capacitor should refute feasibility: %+v", c)
+	}
+}
+
 func TestJSONOutput(t *testing.T) {
 	var out bytes.Buffer
-	code, err := run([]string{"-json", "-rules", "def-use", "testdata/defuse.s"}, &out)
+	code, err := run([]string{"-json", "-rules", "def-use", "testdata/defuse.s"}, &out, &out)
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
@@ -109,7 +171,7 @@ func TestLintBinaryImage(t *testing.T) {
 	}
 
 	var out bytes.Buffer
-	code, err := run([]string{"-rules", "def-use", img}, &out)
+	code, err := run([]string{"-rules", "def-use", img}, &out, &out)
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
@@ -125,7 +187,7 @@ func TestLintBinaryImage(t *testing.T) {
 // full geometry and energy configuration.
 func TestPairNANDIsClean(t *testing.T) {
 	var out bytes.Buffer
-	code, err := run([]string{"../mouseasm/testdata/pair_nand.s"}, &out)
+	code, err := run([]string{"../mouseasm/testdata/pair_nand.s"}, &out, &out)
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
@@ -136,7 +198,7 @@ func TestPairNANDIsClean(t *testing.T) {
 
 func TestAllShowsInfos(t *testing.T) {
 	var out bytes.Buffer
-	if _, err := run([]string{"-all", "testdata/clean.s"}, &out); err != nil {
+	if _, err := run([]string{"-all", "testdata/clean.s"}, &out, &out); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	if !strings.Contains(out.String(), "info:") {
@@ -146,7 +208,7 @@ func TestAllShowsInfos(t *testing.T) {
 
 func TestRulesHelp(t *testing.T) {
 	var out bytes.Buffer
-	code, err := run([]string{"-rules", "help"}, &out)
+	code, err := run([]string{"-rules", "help"}, &out, &out)
 	if err != nil || code != 0 {
 		t.Fatalf("run: code=%d err=%v", code, err)
 	}
@@ -159,17 +221,39 @@ func TestRulesHelp(t *testing.T) {
 
 func TestUsageErrors(t *testing.T) {
 	var out bytes.Buffer
-	if _, err := run([]string{}, &out); err == nil {
+	if _, err := run([]string{}, &out, &out); err == nil {
 		t.Error("no files should be a usage error")
 	}
-	if _, err := run([]string{"-rules", "no-such-rule", "testdata/clean.s"}, &out); err == nil {
+	if _, err := run([]string{"-rules", "no-such-rule", "testdata/clean.s"}, &out, &out); err == nil {
 		t.Error("unknown rule should be an error")
 	}
-	if _, err := run([]string{"testdata/missing.s"}, &out); err == nil {
+	if _, err := run([]string{"testdata/missing.s"}, &out, &out); err == nil {
 		t.Error("missing file should be an error")
 	}
-	if _, err := run([]string{"-config", "bogus", "testdata/clean.s"}, &out); err == nil {
+	if _, err := run([]string{"-config", "bogus", "testdata/clean.s"}, &out, &out); err == nil {
 		t.Error("unknown config should be an error")
+	}
+}
+
+// With -cert, diagnostics move to stderr so stdout is the bare
+// certificate and pipes cleanly into a JSON consumer even when the
+// rules fire.
+func TestCertStdoutIsPureJSON(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	// 100 nF keeps every region feasible but trips the headroom warning.
+	code, err := run([]string{"-cert", "-interval", "3", "-cap", "1e-7", "testdata/clean.s"}, &stdout, &stderr)
+	if err != nil || code != 0 {
+		t.Fatalf("run: code=%d err=%v", code, err)
+	}
+	var c lint.Certificate
+	if err := json.Unmarshal(stdout.Bytes(), &c); err != nil {
+		t.Fatalf("stdout is not a bare certificate: %v\n%s", err, stdout.String())
+	}
+	if c.Schema != lint.CertSchema || !c.Feasible {
+		t.Errorf("unexpected certificate: %+v", c)
+	}
+	if !strings.Contains(stderr.String(), "[wce]") {
+		t.Errorf("headroom warnings should land on stderr, got:\n%s", stderr.String())
 	}
 }
 
@@ -180,7 +264,7 @@ func TestParseErrorHasLine(t *testing.T) {
 		t.Fatal(err)
 	}
 	var out bytes.Buffer
-	_, err := run([]string{bad}, &out)
+	_, err := run([]string{bad}, &out, &out)
 	if err == nil || !strings.Contains(err.Error(), bad+":2:") {
 		t.Errorf("want error mentioning %s:2:, got %v", bad, err)
 	}

@@ -1,0 +1,13 @@
+# Activation-restore hazard: with -interval 4, the second region's
+# preset executes under the 4-column ACT carried in from region one,
+# but the region then replaces the configuration. A crash after the new
+# ACT restores *it* on restart (the protocol keeps only the last
+# executed ACT, Section IV-D), so the replayed preset lands on the
+# wrong column set.
+ACT * R 0 4 1
+PRE0 1
+NAND2 0 2 1
+PRE0 3
+PRE0 5            ; region two starts: still the 4-column activation
+ACT * R 0 8 1     ; replaced mid-region: unsafe to replay the preset
+NAND2 0 2 5

@@ -3,6 +3,6 @@
 # the wrong preset polarity.
 ACT * R 0 4 1
 WR 0 3            ; buffer never loaded
-NAND2 0 2 1       ; output row 1 never preset
+NAND2 0 2 1       ; output row 1 never preset (stale gate result on later passes)
 PRE1 4            ; NOT needs PRE0
 NOT 1 4

@@ -56,6 +56,7 @@ type Builder struct {
 	prog isa.Program
 	free [2][]int // free rows by parity, used LIFO
 	err  error
+	ctx  CheckContext // deployment context handed to ProgramCheck
 
 	// gates counts emitted logic gates (excluding presets), for
 	// reporting against the paper's operation counts.
@@ -70,7 +71,7 @@ type Builder struct {
 // NewBuilder creates a builder for tiles with the given row count. Rows
 // are handed out from 0 upward; reserve operand rows first with Reserve.
 func NewBuilder(rows int) *Builder {
-	b := &Builder{rows: rows}
+	b := &Builder{rows: rows, ctx: CheckContext{Rows: rows}}
 	for r := rows - 1; r >= 0; r-- { // LIFO: low rows come out first
 		b.free[r&1] = append(b.free[r&1], r)
 	}
@@ -87,12 +88,41 @@ func (b *Builder) fail(format string, args ...any) {
 	}
 }
 
+// CheckContext carries the deployment facts a self-check needs beyond
+// the instruction stream itself: the technology configuration (whose
+// capacitor sizes the discharge window), the checkpoint interval the
+// program will run under, and the machine geometry. Zero fields mean
+// "unknown" and the checker falls back to its defaults (full ISA
+// geometry, Modern STT, per-instruction checkpointing).
+type CheckContext struct {
+	// Cfg is the technology the program will deploy on; nil → default.
+	Cfg *mtj.Config
+	// CheckpointInterval is the replay-region length; ≤ 1 →
+	// per-instruction checkpointing.
+	CheckpointInterval int
+	// Tiles, Rows, Cols bound the deployed array; zero fields default to
+	// the full ISA address space.
+	Tiles, Rows, Cols int
+}
+
 // ProgramCheck, when non-nil, is applied to every program Program()
 // would return successfully; a non-nil result becomes the compile
 // error. The compile test suite installs the lint package's verifier
 // here so every compiler-emitted program is statically self-checked
-// (the package itself stays free of the dependency).
-var ProgramCheck func(isa.Program) error
+// against its deployment context — geometry, technology, capacitor,
+// checkpoint interval — (the package itself stays free of the
+// dependency).
+var ProgramCheck func(isa.Program, CheckContext) error
+
+// SetCheckContext records the deployment context the self-check hook
+// receives from Program(). Callers that know their capacitor and
+// checkpoint interval set it right after NewBuilder.
+func (b *Builder) SetCheckContext(ctx CheckContext) {
+	if ctx.Rows == 0 {
+		ctx.Rows = b.rows
+	}
+	b.ctx = ctx
+}
 
 // Program returns the compiled program. It returns the builder's error,
 // if any, and validates (and, when a ProgramCheck is installed,
@@ -105,7 +135,7 @@ func (b *Builder) Program() (isa.Program, error) {
 		return nil, err
 	}
 	if ProgramCheck != nil {
-		if err := ProgramCheck(b.prog); err != nil {
+		if err := ProgramCheck(b.prog, b.ctx); err != nil {
 			return nil, fmt.Errorf("compile: self-check: %w", err)
 		}
 	}

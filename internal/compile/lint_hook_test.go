@@ -16,10 +16,20 @@ import (
 // outputs, dead computes, undefined buffer stores). This is the
 // compiler-side enforcement of the paper's mapping discipline.
 func TestMain(m *testing.M) {
-	ProgramCheck = func(p isa.Program) error {
-		return lint.Lint(p, lint.Options{}).Err()
-	}
+	ProgramCheck = lintCheck
 	os.Exit(m.Run())
+}
+
+// lintCheck adapts the lint package to the ProgramCheck hook: the
+// deployment context becomes lint options (zero fields fall back to
+// lint's defaults — partial geometry works because Options defaults
+// each zero dimension independently).
+func lintCheck(p isa.Program, ctx CheckContext) error {
+	return lint.Lint(p, lint.Options{
+		Geometry:           lint.Geometry{Tiles: ctx.Tiles, Rows: ctx.Rows, Cols: ctx.Cols},
+		Config:             ctx.Cfg,
+		CheckpointInterval: ctx.CheckpointInterval,
+	}).Err()
 }
 
 func TestProgramCheckRejects(t *testing.T) {
@@ -27,9 +37,7 @@ func TestProgramCheckRejects(t *testing.T) {
 	// must turn the lint error into a compile error.
 	saved := ProgramCheck
 	defer func() { ProgramCheck = saved }()
-	ProgramCheck = func(p isa.Program) error {
-		return lint.Lint(p, lint.Options{}).Err()
-	}
+	ProgramCheck = lintCheck
 
 	b := NewBuilder(testRows)
 	x := b.Reserve(0)

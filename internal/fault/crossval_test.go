@@ -1,0 +1,100 @@
+package fault
+
+import (
+	"errors"
+	"testing"
+
+	"mouse/internal/energy"
+	"mouse/internal/lint"
+	"mouse/internal/mtj"
+	"mouse/internal/power"
+	"mouse/internal/sim"
+)
+
+// TestStaticDynamicAgreement is the differential gate of the mousevet
+// v2 issue: for every built-in workload (arith, tiny-svm, tiny-bnn,
+// tiny-fft), the static verdict — replay-safe per the region-aware
+// abstract interpreter, energy-feasible per the WCE certificate — must
+// agree with the exhaustive crash sweep and with intermittent
+// simulation under the same capacitor. CI runs exactly this test as
+// its gate step.
+func TestStaticDynamicAgreement(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive differential sweep")
+	}
+	cfg := mtj.ModernSTT()
+	subjects, err := Subjects(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(subjects) != len(Workloads(cfg)) {
+		t.Fatalf("cross-validating %d subjects but %d workloads are registered", len(subjects), len(Workloads(cfg)))
+	}
+	// Every instruction boundary; the fraction triple covers the fetch,
+	// execute, and commit µ-phase bands (the full grid runs in
+	// TestArithExhaustive).
+	opts := Options{Fracs: []float64{0, 0.5, 0.97}}
+	for _, s := range subjects {
+		t.Run(s.Workload.Name, func(t *testing.T) {
+			t.Parallel()
+			r, err := CrossValidate(s, cfg, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d := r.Disagreement(); d != "" {
+				t.Fatal(d)
+			}
+			// These workloads are built to be certified safe, so agreement
+			// must be realized as safe/safe — not as a vacuous unsafe pair.
+			if r.Static.HasErrors() {
+				t.Errorf("static analysis rejects the workload: %v", r.Static.Err())
+			}
+			if !r.Cert.Feasible {
+				t.Errorf("WCE certificate refutes feasibility: worst region %d", r.Cert.WorstRegion)
+			}
+			if !r.SimCompleted {
+				t.Errorf("intermittent run did not complete: %v", r.SimErr)
+			}
+			if !r.Sweep.AllEquivalent() {
+				t.Errorf("%d/%d injection points not crash-equivalent", r.Sweep.Points-r.Sweep.Equivalent, r.Sweep.Points)
+			}
+		})
+	}
+}
+
+// The negative direction of the capacitor agreement: on a vanishingly
+// small buffer the certificate must refute feasibility, and the
+// intermittent simulator must refuse the same program with
+// ErrNonTermination — static and dynamic agreeing that the program
+// livelocks.
+func TestInfeasibleCapacitorAgreement(t *testing.T) {
+	tiny := *mtj.ModernSTT()
+	tiny.CapC = 1e-12
+	prog, _, _, err := compiledArith(mtj.ModernSTT())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lopts := lint.Options{
+		Geometry:           lint.Geometry{Tiles: 1, Rows: arithRows, Cols: arithCols},
+		Config:             &tiny,
+		CheckpointInterval: 1,
+	}
+	cert, err := lint.Certify(prog, lopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cert.Feasible {
+		t.Fatalf("1 pF buffer certified feasible: window %.3g J", cert.WindowJ)
+	}
+	if !lint.Lint(prog, lopts).HasErrors() {
+		t.Error("wce rule produced no error for the infeasible buffer")
+	}
+
+	model := energy.NewModel(&tiny)
+	model.RowBits = arithCols
+	h := power.NewHarvester(power.Constant{W: chargeWatts}, tiny.CapC, tiny.CapVMin, tiny.CapVMax)
+	r := &sim.Runner{Model: model, MaxChargeWait: 24 * 3600}
+	if _, err := r.Run(sim.StreamFromProgram(prog, 1), h); !errors.Is(err, sim.ErrNonTermination) {
+		t.Fatalf("simulator verdict disagrees with the certificate: err=%v", err)
+	}
+}

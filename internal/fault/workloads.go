@@ -9,6 +9,7 @@ import (
 	"mouse/internal/compile"
 	"mouse/internal/controller"
 	"mouse/internal/energy"
+	"mouse/internal/fft"
 	"mouse/internal/isa"
 	"mouse/internal/mtj"
 	"mouse/internal/sim"
@@ -20,9 +21,10 @@ import (
 // enough to exercise every instruction kind, both logic engines, and
 // the full dual-PC commit protocol: a multiplier chain (the ≥200
 // instruction reference workload), a hand-built two-class SVM using the
-// production application mapping, and a hand-built BNN with a hidden
-// layer. Models are constructed directly — not trained — so every run
-// of every workload is bit-deterministic.
+// production application mapping, a hand-built BNN with a hidden layer,
+// and a 2-point FFT through the production FFT mapping. Models are
+// constructed directly — not trained — so every run of every workload
+// is bit-deterministic.
 
 // arithRows/arithCols size the multiplier workload's single tile.
 const (
@@ -33,9 +35,13 @@ const (
 // compiledArith builds the reference program: an 8×8 multiply whose
 // product feeds a second multiply, plus a row transfer through the
 // memory buffer, so the stream covers ACT, preset, logic, read, and
-// write kinds. Returns the input words for seeding.
-func compiledArith() (isa.Program, compile.Word, compile.Word, error) {
+// write kinds. Returns the input words for seeding. The deployment
+// context (geometry plus capacitor) rides into the builder's lint
+// self-check, so the compile itself proves the program fits the energy
+// buffer it will be swept under.
+func compiledArith(cfg *mtj.Config) (isa.Program, compile.Word, compile.Word, error) {
 	b := compile.NewBuilder(arithRows)
+	b.SetCheckContext(compile.CheckContext{Cfg: cfg, Tiles: 1, Rows: arithRows, Cols: arithCols})
 	cols := make([]uint16, arithCols)
 	for i := range cols {
 		cols[i] = uint16(i)
@@ -57,7 +63,7 @@ func Arith(cfg *mtj.Config) Workload {
 	return Workload{
 		Name: "arith",
 		New: func() (*controller.Controller, error) {
-			prog, x, y, err := compiledArith()
+			prog, x, y, err := compiledArith(cfg)
 			if err != nil {
 				return nil, err
 			}
@@ -170,10 +176,51 @@ func TinyBNN(cfg *mtj.Config) Workload {
 	}
 }
 
+// tinyFFTParams sizes the FFT workload: the smallest legal transform
+// (2-point, Q2.2), compiled through the production FFT mapping. Still
+// ~800 instructions — every butterfly is unrolled shift-and-add — so
+// the sweep covers a long real program without dominating the suite.
+func tinyFFTParams() fft.Params { return fft.Params{N: 2, Width: 4, Frac: 2} }
+
+// fftRows/fftCols size the FFT workload's tile and batch.
+const (
+	fftRows = 64
+	fftCols = 2
+)
+
+// TinyFFT compiles the 2-point transform through the production FFT
+// mapping, one fixed complex signal per batch column.
+func TinyFFT(cfg *mtj.Config) Workload {
+	return Workload{
+		Name: "tiny-fft",
+		New: func() (*controller.Controller, error) {
+			mp, err := fft.Compile(tinyFFTParams(), fftRows, fftCols)
+			if err != nil {
+				return nil, err
+			}
+			m := array.NewMachine(cfg, 1, fftRows, arithCols)
+			for c := 0; c < fftCols; c++ {
+				for i := range mp.InRe {
+					loadRows(m, mp.InRe[i], c, uint64(2*i+c+1))
+					loadRows(m, mp.InIm[i], c, uint64(3*i+c))
+				}
+			}
+			return controller.New(controller.ProgramStore(mp.Prog), m), nil
+		},
+	}
+}
+
+// loadRows writes an LSB-first value into one column of the listed rows.
+func loadRows(m *array.Machine, rows []int, col int, v uint64) {
+	for i, row := range rows {
+		m.Tiles[0].SetBit(row, col, int(v>>i)&1)
+	}
+}
+
 // ArithStream is the trace-layer form of the multiplier workload: the
 // same program priced analytically.
 func ArithStream(cfg *mtj.Config) (StreamWorkload, error) {
-	prog, _, _, err := compiledArith()
+	prog, _, _, err := compiledArith(cfg)
 	if err != nil {
 		return StreamWorkload{}, err
 	}
@@ -190,7 +237,7 @@ func ArithStream(cfg *mtj.Config) (StreamWorkload, error) {
 // by CLI name.
 func Workloads(cfg *mtj.Config) map[string]Workload {
 	ws := map[string]Workload{}
-	for _, w := range []Workload{Arith(cfg), TinySVM(cfg), TinyBNN(cfg)} {
+	for _, w := range []Workload{Arith(cfg), TinySVM(cfg), TinyBNN(cfg), TinyFFT(cfg)} {
 		ws[w.Name] = w
 	}
 	return ws

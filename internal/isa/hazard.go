@@ -55,6 +55,27 @@ func (in *Instruction) Effects() (reads, writes [][2]int) {
 	return rw(in)
 }
 
+// ActEffects reports whether the instruction depends on (reads) or
+// replaces (writes) the machine's active-column configuration — the
+// peripheral state that FindWARHazards deliberately ignores, because the
+// Section IV-D restart protocol restores it from the duplicated ACT
+// register rather than by replay. That restore is exactly why the
+// configuration matters to a *region* replay analysis: after a crash the
+// machine resumes under the most recently *executed* ACT, which may not
+// be the configuration the region entered with. Presets and logic
+// operations read the configuration (they touch only active columns);
+// ACT replaces it wholesale; memory transfers are column-addressed by
+// the instruction itself and ignore it.
+func (in *Instruction) ActEffects() (reads, writes bool) {
+	switch in.Kind {
+	case KindPreset, KindLogic:
+		return true, false
+	case KindAct:
+		return false, true
+	}
+	return false, false
+}
+
 // rw lists the rows an instruction reads and writes. Broadcast
 // operations use tile = -1 (they conflict with every tile). The memory
 // buffer is modelled as tile = -2, row = 0.

@@ -168,3 +168,27 @@ func TestWearProfile(t *testing.T) {
 		t.Fatalf("empty program lifetime = %g", life)
 	}
 }
+
+// ActEffects is the activation-configuration side channel the
+// region-replay analysis consumes: presets and gates read the
+// configuration (they touch only active columns), ACT replaces it
+// wholesale, and memory transfers ignore it entirely.
+func TestActEffects(t *testing.T) {
+	cases := []struct {
+		in            Instruction
+		reads, writes bool
+	}{
+		{Preset(1, mtj.P), true, false},
+		{Logic(mtj.NAND2, []int{0, 2}, 1), true, false},
+		{ActRange(true, 0, 0, 4, 1), false, true},
+		{ActList(false, 0, []uint16{3}), false, true},
+		{Read(0, 1), false, false},
+		{Write(0, 1), false, false},
+	}
+	for _, tc := range cases {
+		r, w := tc.in.ActEffects()
+		if r != tc.reads || w != tc.writes {
+			t.Errorf("%v: ActEffects = (%v, %v), want (%v, %v)", tc.in.Kind, r, w, tc.reads, tc.writes)
+		}
+	}
+}

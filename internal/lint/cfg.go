@@ -1,0 +1,77 @@
+package lint
+
+// Checkpoint-region control-flow graph. MOUSE programs are straight-line
+// streams the controller repeats forever (Section IV-B), so the only
+// control flow is implicit: the checkpoint protocol. Partitioning the
+// stream at checkpoint boundaries yields a CFG with three edge kinds,
+// all of which the abstract interpreter must account for:
+//
+//   - the fall-through edge from each region to the next (program order),
+//   - the loop edge from the last region back to the first (the stream
+//     repeats, so state at the end of one pass flows into the next), and
+//   - a replay self-edge on every region (a power loss inside a region
+//     rolls execution back to the region's start, re-running its prefix
+//     under whatever state the partial attempt left behind — the
+//     Section IV-D replay-safety question).
+//
+// With MOUSE's per-instruction checkpointing every region is a single
+// instruction; checkpoint-thinned deployments
+// (sim.RunWithCheckpointInterval's model) produce multi-instruction
+// regions, which is where region precision starts to matter.
+
+// Region is one checkpoint region: the half-open instruction range
+// [Start, End) replayed as a unit after a crash inside it.
+type Region struct {
+	// Index is the region's position in program order.
+	Index int `json:"index"`
+	// Start and End bound the region's instructions, half-open.
+	Start int `json:"start"`
+	End   int `json:"end"`
+}
+
+// Len returns the region's instruction count.
+func (r Region) Len() int { return r.End - r.Start }
+
+// CFG is the checkpoint-region graph of an n-instruction program
+// checkpointed every Interval instructions.
+type CFG struct {
+	// Regions partition [0, N) in program order. Empty exactly when the
+	// program is empty.
+	Regions []Region
+	// Interval is the resolved checkpoint interval (always >= 1).
+	Interval int
+	// N is the program length.
+	N int
+}
+
+// BuildCFG partitions an n-instruction program into checkpoint regions.
+// Intervals below 1 model MOUSE's per-instruction checkpointing
+// (back-to-back checkpoints: every region is one instruction). A stream
+// whose length is not a multiple of the interval ends mid-region; the
+// tail is its own short region, since the end of the stream commits.
+func BuildCFG(n, interval int) *CFG {
+	if interval < 1 {
+		interval = 1
+	}
+	c := &CFG{Interval: interval, N: n}
+	for start := 0; start < n; start += interval {
+		end := start + interval
+		if end > n {
+			end = n
+		}
+		c.Regions = append(c.Regions, Region{Index: len(c.Regions), Start: start, End: end})
+	}
+	return c
+}
+
+// RegionOf returns the index of the region containing instruction i.
+func (c *CFG) RegionOf(i int) int { return i / c.Interval }
+
+// Succ returns the fall-through successor of region r, wrapping the last
+// region back to the first (the loop edge).
+func (c *CFG) Succ(r int) int {
+	if len(c.Regions) == 0 {
+		return 0
+	}
+	return (r + 1) % len(c.Regions)
+}

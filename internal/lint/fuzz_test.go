@@ -42,34 +42,7 @@ func FuzzLintProgram(f *testing.F) {
 	f.Add([]byte{})
 
 	f.Fuzz(func(t *testing.T, data []byte) {
-		var prog isa.Program
-		for len(data) >= 9 {
-			sel, word := data[0], binary.BigEndian.Uint64(data[1:9])
-			data = data[9:]
-			if sel%2 == 0 {
-				in, err := isa.Decode(word)
-				if err != nil {
-					continue
-				}
-				prog = append(prog, in)
-				continue
-			}
-			// Raw construction: every field from the word, unvalidated.
-			prog = append(prog, isa.Instruction{
-				Kind:   isa.Kind(sel >> 1 & 7),
-				Gate:   mtj.GateKind(word),
-				In:     [3]uint16{uint16(word), uint16(word >> 16), uint16(word >> 32)},
-				Out:    uint16(word >> 48),
-				Tile:   uint16(word >> 3),
-				Row:    uint16(word >> 13),
-				Rot:    uint16(word >> 23),
-				Value:  mtj.State(word >> 33 & 3),
-				Ranged: sel&4 != 0,
-				Start:  uint16(word >> 35),
-				Count:  uint16(word >> 45),
-				Stride: uint16(word >> 55),
-			})
-		}
+		prog := fuzzProgram(data)
 		for _, opts := range []Options{
 			{},
 			{Geometry: Geometry{Tiles: 2, Rows: 64, Cols: 16}, CheckpointInterval: 3},
@@ -79,6 +52,121 @@ func FuzzLintProgram(f *testing.F) {
 			if !reflect.DeepEqual(r1, r2) {
 				t.Fatalf("lint is non-deterministic:\n%+v\nvs\n%+v", r1, r2)
 			}
+		}
+	})
+}
+
+// fuzzProgram decodes an instruction stream from fuzz data, one
+// instruction per 9-byte chunk: a selector byte picks between the
+// decoder (valid or rejected words) and a raw, unvalidated struct whose
+// fields come straight from the fuzz data.
+func fuzzProgram(data []byte) isa.Program {
+	var prog isa.Program
+	for len(data) >= 9 {
+		sel, word := data[0], binary.BigEndian.Uint64(data[1:9])
+		data = data[9:]
+		if sel%2 == 0 {
+			in, err := isa.Decode(word)
+			if err != nil {
+				continue
+			}
+			prog = append(prog, in)
+			continue
+		}
+		// Raw construction: every field from the word, unvalidated.
+		prog = append(prog, isa.Instruction{
+			Kind:   isa.Kind(sel >> 1 & 7),
+			Gate:   mtj.GateKind(word),
+			In:     [3]uint16{uint16(word), uint16(word >> 16), uint16(word >> 32)},
+			Out:    uint16(word >> 48),
+			Tile:   uint16(word >> 3),
+			Row:    uint16(word >> 13),
+			Rot:    uint16(word >> 23),
+			Value:  mtj.State(word >> 33 & 3),
+			Ranged: sel&4 != 0,
+			Start:  uint16(word >> 35),
+			Count:  uint16(word >> 45),
+			Stride: uint16(word >> 55),
+		})
+	}
+	return prog
+}
+
+// FuzzRegionInterp targets the checkpoint-region machinery under
+// arbitrary streams and intervals: the CFG must partition the program
+// exactly, the fixpoint must terminate within the lattice-height bound,
+// and certification must never panic — whatever the interval (empty
+// regions cannot exist, back-to-back checkpoints make every region one
+// instruction, and a stream ending mid-region leaves a short tail).
+func FuzzRegionInterp(f *testing.F) {
+	seed := func(interval byte, p isa.Program) []byte {
+		b := []byte{interval}
+		for i := range p {
+			w, err := isa.Encode(p[i])
+			if err != nil {
+				f.Fatal(err)
+			}
+			b = append(b, 0)
+			b = binary.BigEndian.AppendUint64(b, w)
+		}
+		return b
+	}
+	clean := isa.Program{
+		isa.ActRange(true, 0, 0, 4, 1),
+		isa.Preset(1, mtj.P),
+		isa.Logic(mtj.NAND2, []int{0, 2}, 1),
+		isa.Read(0, 1),
+		isa.Write(1, 3),
+	}
+	f.Add(seed(0, nil))     // empty program, degenerate interval
+	f.Add(seed(1, clean))   // back-to-back checkpoints
+	f.Add(seed(3, clean))   // 5 instructions at interval 3: mid-region end
+	f.Add(seed(255, clean)) // interval longer than the stream
+	f.Add(seed(2, isa.Program{isa.ActRange(true, 0, 0, 4, 1), isa.ActRange(true, 0, 0, 8, 1)}))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 {
+			return
+		}
+		interval := int(data[0])
+		prog := fuzzProgram(data[1:])
+
+		cfg := BuildCFG(len(prog), interval)
+		next := 0
+		for i, r := range cfg.Regions {
+			if r.Index != i || r.Start != next || r.End <= r.Start {
+				t.Fatalf("region %d = %+v does not continue the partition at %d", i, r, next)
+			}
+			next = r.End
+		}
+		if next != len(prog) {
+			t.Fatalf("regions cover [0,%d), program has %d instructions", next, len(prog))
+		}
+
+		opts := Options{CheckpointInterval: interval}
+		valid := make([]bool, len(prog))
+		allValid := true
+		for i := range prog {
+			valid[i] = prog[i].Validate() == nil
+			allValid = allValid && valid[i]
+		}
+		it := newInterp(prog, opts, valid)
+		if it.iterations >= maxIterations(len(prog)) {
+			t.Fatalf("fixpoint hit the %d-iteration guard", maxIterations(len(prog)))
+		}
+
+		// Certification must never panic; on fully valid streams it must
+		// succeed and partition like the CFG.
+		cert, err := Certify(prog, opts)
+		if allValid {
+			if err != nil {
+				t.Fatalf("valid stream failed to certify: %v", err)
+			}
+			if len(cert.Regions) != len(cfg.Regions) {
+				t.Fatalf("certificate has %d regions, CFG %d", len(cert.Regions), len(cfg.Regions))
+			}
+		} else if err == nil {
+			t.Fatal("invalid stream certified")
 		}
 	})
 }

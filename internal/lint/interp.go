@@ -1,0 +1,123 @@
+package lint
+
+import "mouse/internal/isa"
+
+// The fixpoint abstract interpreter. A MOUSE program is a straight line
+// the controller repeats forever, so its CFG (cfg.go) is a chain of
+// checkpoint regions plus one loop edge from the end back to the start.
+// The interpreter runs the lattice transfer function (lattice.go) over
+// that graph to a fixpoint: the state entering instruction 0 is the join
+// of the power-on state and the state leaving the last instruction,
+// iterated until stable. The result — an entry state per instruction —
+// is what lets the rules distinguish "undefined" (rowBottom: no pass
+// ever writes it) from "first-pass-undefined" (rowTop: later passes
+// leave a value behind), and is the per-region entry fact the replay
+// and worst-case-energy rules consume.
+
+// interp holds the fixpoint solution for one program under one set of
+// options.
+type interp struct {
+	prog  isa.Program
+	valid []bool
+	geom  Geometry
+	cfg   *CFG
+
+	// entry[i] is the abstract state just before instruction i executes,
+	// over every pass of the loop. entry has len(prog)+1 slots; the last
+	// is the state after the final instruction (= the loop edge's source).
+	entry []absState
+
+	// iterations counts fixpoint passes over the program; the fuzz
+	// harness asserts it stays within the lattice-height bound.
+	iterations int
+}
+
+// maxIterations bounds the fixpoint loop. The product lattice's height
+// is 2 (buffer) + 2 (activation) + 3 per distinct row, and each pass
+// that fails to stabilize must raise at least one component, so the
+// bound below can never bind on a monotone transfer function — it is a
+// belt-and-braces guard (and the property the fuzzer checks).
+func maxIterations(n int) int { return 3*n + 8 }
+
+// newInterp solves the fixpoint for the program. Instructions with
+// valid[i] == false are skipped (their fields cannot be interpreted),
+// matching how every semantic rule treats them.
+func newInterp(prog isa.Program, opts Options, valid []bool) *interp {
+	it := &interp{
+		prog:  prog,
+		valid: valid,
+		geom:  opts.geometry(),
+		cfg:   BuildCFG(len(prog), opts.CheckpointInterval),
+	}
+
+	// Iterate pass-over-pass: start from power-on, run the whole stream,
+	// fold the exit state back into the entry over the loop edge, repeat
+	// until the entry stops changing.
+	state := initialState()
+	limit := maxIterations(len(prog))
+	for it.iterations = 0; it.iterations < limit; it.iterations++ {
+		exit := state.clone()
+		for i := range prog {
+			it.transfer(&exit, i)
+		}
+		if !state.join(&exit) {
+			break
+		}
+	}
+
+	// Materialize the per-instruction entry states from the stable
+	// solution with one final linear walk.
+	it.entry = make([]absState, len(prog)+1)
+	it.entry[0] = state
+	for i := range prog {
+		next := it.entry[i].clone()
+		it.transfer(&next, i)
+		it.entry[i+1] = next
+	}
+	return it
+}
+
+// transfer applies instruction i to the state in place.
+func (it *interp) transfer(s *absState, i int) {
+	if !it.valid[i] {
+		return
+	}
+	in := &it.prog[i]
+	switch in.Kind {
+	case isa.KindRead:
+		s.buf = bufDef
+	case isa.KindWrite:
+		// Tile-specific; the row lattice tracks broadcast rows only.
+	case isa.KindPreset:
+		s.rows[int(in.Row)] = rowInfo{val: rowPreset, state: in.Value, curAct: true}
+	case isa.KindLogic:
+		s.rows[int(in.Out)] = rowInfo{val: rowGated, curAct: true}
+	case isa.KindAct:
+		s.act = actOf(decodeAct(in), it.geom)
+		for r, v := range s.rows {
+			if v.curAct {
+				v.curAct = false
+				s.rows[r] = v
+			}
+		}
+	}
+}
+
+// decodeAct lifts an ACT instruction's column set into the abstract
+// activation representation.
+func decodeAct(in *isa.Instruction) actInstr {
+	return actInstr{
+		broadcast: in.Broadcast,
+		tile:      in.Tile,
+		cols:      NewIntervalSet(in.ActiveColumns()),
+	}
+}
+
+// entryAt returns the fixpoint state just before instruction i (i may
+// equal len(prog): the state after the last instruction).
+func (it *interp) entryAt(i int) *absState { return &it.entry[i] }
+
+// regionEntry returns the fixpoint state at the start of region r — the
+// state a replay of r begins from (modulo the in-region partial attempt,
+// which is exactly what the replay rule reasons about).
+func (it *interp) regionEntry(r Region) *absState { return &it.entry[r.Start] }

@@ -1,0 +1,362 @@
+package lint
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"mouse/internal/mtj"
+)
+
+// The abstract domain. Each component is a finite join-semilattice, so
+// the product lattice is finite too and the fixpoint iteration in
+// interp.go terminates: joins only move values up, and every chain is
+// short (three levels for rows and the buffer, three for activations).
+
+// IntervalSet is a set of column or row addresses kept as sorted,
+// disjoint, inclusive [lo, hi] intervals — the compact representation
+// for the dense ranged activations (ACT R) and the sparse list form
+// (ACT C) alike.
+type IntervalSet struct {
+	iv [][2]uint16
+}
+
+// NewIntervalSet builds the set holding exactly the given addresses.
+func NewIntervalSet(addrs []uint16) IntervalSet {
+	if len(addrs) == 0 {
+		return IntervalSet{}
+	}
+	sorted := append([]uint16(nil), addrs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var s IntervalSet
+	lo, hi := sorted[0], sorted[0]
+	for _, a := range sorted[1:] {
+		if a <= hi+1 {
+			if a > hi {
+				hi = a
+			}
+			continue
+		}
+		s.iv = append(s.iv, [2]uint16{lo, hi})
+		lo, hi = a, a
+	}
+	s.iv = append(s.iv, [2]uint16{lo, hi})
+	return s
+}
+
+// NewIntervalRange builds the set {start, start+stride, ...} with count
+// elements, clipped to the 16-bit address space. Stride 0 or 1 yields a
+// single interval.
+func NewIntervalRange(start, count, stride int) IntervalSet {
+	if count <= 0 {
+		return IntervalSet{}
+	}
+	if stride <= 1 {
+		end := start + count - 1
+		if end > 0xFFFF {
+			end = 0xFFFF
+		}
+		return IntervalSet{iv: [][2]uint16{{uint16(start), uint16(end)}}}
+	}
+	addrs := make([]uint16, 0, count)
+	for i, a := 0, start; i < count && a <= 0xFFFF; i, a = i+1, a+stride {
+		addrs = append(addrs, uint16(a))
+	}
+	return NewIntervalSet(addrs)
+}
+
+// Empty reports whether the set holds no addresses.
+func (s IntervalSet) Empty() bool { return len(s.iv) == 0 }
+
+// Count returns the number of addresses in the set.
+func (s IntervalSet) Count() int {
+	n := 0
+	for _, r := range s.iv {
+		n += int(r[1]) - int(r[0]) + 1
+	}
+	return n
+}
+
+// CountBelow returns how many addresses fall below limit (the deployed
+// geometry's column or row count).
+func (s IntervalSet) CountBelow(limit int) int {
+	n := 0
+	for _, r := range s.iv {
+		lo, hi := int(r[0]), int(r[1])
+		if lo >= limit {
+			break
+		}
+		if hi >= limit {
+			hi = limit - 1
+		}
+		n += hi - lo + 1
+	}
+	return n
+}
+
+// Contains reports set membership.
+func (s IntervalSet) Contains(a uint16) bool {
+	for _, r := range s.iv {
+		if a < r[0] {
+			return false
+		}
+		if a <= r[1] {
+			return true
+		}
+	}
+	return false
+}
+
+// Equal reports whether two sets hold exactly the same addresses.
+func (s IntervalSet) Equal(o IntervalSet) bool {
+	if len(s.iv) != len(o.iv) {
+		return false
+	}
+	for i := range s.iv {
+		if s.iv[i] != o.iv[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Union returns the set union.
+func (s IntervalSet) Union(o IntervalSet) IntervalSet {
+	if s.Empty() {
+		return o
+	}
+	if o.Empty() {
+		return s
+	}
+	merged := append(append([][2]uint16(nil), s.iv...), o.iv...)
+	sort.Slice(merged, func(i, j int) bool { return merged[i][0] < merged[j][0] })
+	out := IntervalSet{iv: merged[:1]}
+	for _, r := range merged[1:] {
+		last := &out.iv[len(out.iv)-1]
+		if int(r[0]) <= int(last[1])+1 {
+			if r[1] > last[1] {
+				last[1] = r[1]
+			}
+			continue
+		}
+		out.iv = append(out.iv, r)
+	}
+	return out
+}
+
+func (s IntervalSet) String() string {
+	if s.Empty() {
+		return "{}"
+	}
+	var b strings.Builder
+	for i, r := range s.iv {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		if r[0] == r[1] {
+			fmt.Fprintf(&b, "%d", r[0])
+		} else {
+			fmt.Fprintf(&b, "%d-%d", r[0], r[1])
+		}
+	}
+	return b.String()
+}
+
+// rowVal is the abstract state of one broadcast row.
+type rowVal uint8
+
+const (
+	// rowBottom: never written on this path — power-on or host-preloaded
+	// contents, unknown to the analysis.
+	rowBottom rowVal = iota
+	// rowPreset: holds a preset constant (the state field of rowInfo says
+	// which polarity).
+	rowPreset
+	// rowGated: holds a gate result.
+	rowGated
+	// rowTop: different abstract values on different paths (in a
+	// straight-line looping program: uninitialized on the first pass,
+	// defined on later ones, or conflicting defs across the loop edge).
+	rowTop
+)
+
+// rowInfo is the per-row lattice element.
+type rowInfo struct {
+	val rowVal
+	// state is the preset polarity, meaningful only for rowPreset.
+	state mtj.State
+	// curAct reports the definition landed under the current activation
+	// configuration (no ACT between the def and now), so the defined
+	// column set is exactly the active one.
+	curAct bool
+}
+
+// joinRow is the per-row least upper bound.
+func joinRow(a, b rowInfo) rowInfo {
+	out := rowInfo{curAct: a.curAct && b.curAct}
+	switch {
+	case a.val == b.val && (a.val != rowPreset || a.state == b.state):
+		out.val, out.state = a.val, a.state
+	default:
+		out.val = rowTop
+	}
+	return out
+}
+
+// bufVal is the abstract state of the memory buffer.
+type bufVal uint8
+
+const (
+	// bufUndef: no read has loaded the buffer on this path.
+	bufUndef bufVal = iota
+	// bufDef: a read loaded it.
+	bufDef
+	// bufTop: loaded on some paths only (e.g. defined at the end of a
+	// pass but not at power-on).
+	bufTop
+)
+
+func joinBuf(a, b bufVal) bufVal {
+	if a == b {
+		return a
+	}
+	return bufTop
+}
+
+// actKind classifies the abstract activation configuration.
+type actKind uint8
+
+const (
+	// actNone: no ACT has executed on this path (power-on state: nothing
+	// active).
+	actNone actKind = iota
+	// actExact: the configuration is exactly one known ACT instruction.
+	actExact
+	// actTop: different ACTs reach this point; only the upper bounds
+	// (cols union, pairs max) are known.
+	actTop
+)
+
+// actVal is the abstract activation configuration.
+type actVal struct {
+	kind actKind
+	// broadcast/tile/cols describe the exact configuration (actExact).
+	broadcast bool
+	tile      uint16
+	cols      IntervalSet
+	// ubPairs upper-bounds the active (tile, column) pair count; for
+	// actExact it equals the exact count.
+	ubPairs int
+	// maybeOff records a join with actNone: the configuration holds on
+	// later passes but nothing is active at power-on.
+	maybeOff bool
+}
+
+// actOf abstracts one ACT instruction under the deployed geometry.
+// ubPairs counts every declared column (broadcast multiplies by the
+// tile count), matching sim.StreamFromProgram's pricing convention so
+// the WCE certificate and the simulator agree to the joule.
+func actOf(in actInstr, g Geometry) actVal {
+	v := actVal{kind: actExact, broadcast: in.broadcast, tile: in.tile, cols: in.cols}
+	mult := 1
+	if in.broadcast {
+		mult = g.Tiles
+	}
+	v.ubPairs = in.cols.Count() * mult
+	return v
+}
+
+// actInstr is the decoded activation an ACT instruction establishes.
+type actInstr struct {
+	broadcast bool
+	tile      uint16
+	cols      IntervalSet
+}
+
+// sameConfig reports whether two exact configurations are identical.
+func (a actVal) sameConfig(b actVal) bool {
+	return a.kind == actExact && b.kind == actExact &&
+		a.broadcast == b.broadcast &&
+		(a.broadcast || a.tile == b.tile) &&
+		a.cols.Equal(b.cols)
+}
+
+func joinAct(a, b actVal) actVal {
+	switch {
+	case a.kind == actNone && b.kind == actNone:
+		return a
+	case a.kind == actNone:
+		b.maybeOff = true
+		return b
+	case b.kind == actNone:
+		a.maybeOff = true
+		return a
+	case a.sameConfig(b):
+		a.maybeOff = a.maybeOff || b.maybeOff
+		return a
+	}
+	out := actVal{kind: actTop, cols: a.cols.Union(b.cols), maybeOff: a.maybeOff || b.maybeOff}
+	out.ubPairs = a.ubPairs
+	if b.ubPairs > out.ubPairs {
+		out.ubPairs = b.ubPairs
+	}
+	return out
+}
+
+// absState is the abstract machine state at one program point: the
+// product of the buffer, activation, and per-row lattices.
+type absState struct {
+	buf  bufVal
+	act  actVal
+	rows map[int]rowInfo
+}
+
+// initialState is the power-on state: buffer unloaded, nothing active,
+// every row at bottom (host-preloaded contents are unknown, not absent).
+func initialState() absState {
+	return absState{rows: make(map[int]rowInfo)}
+}
+
+func (s *absState) clone() absState {
+	out := *s
+	out.rows = make(map[int]rowInfo, len(s.rows))
+	for k, v := range s.rows {
+		out.rows[k] = v
+	}
+	return out
+}
+
+// join folds o into s and reports whether s changed. It is the product
+// lattice's least upper bound, so repeated joins are monotone: the
+// fixpoint loop terminates because each component can only rise.
+func (s *absState) join(o *absState) bool {
+	changed := false
+	if nb := joinBuf(s.buf, o.buf); nb != s.buf {
+		s.buf, changed = nb, true
+	}
+	na := joinAct(s.act, o.act)
+	if na.kind != s.act.kind || na.maybeOff != s.act.maybeOff ||
+		na.ubPairs != s.act.ubPairs || !na.cols.Equal(s.act.cols) ||
+		na.broadcast != s.act.broadcast || na.tile != s.act.tile {
+		s.act, changed = na, true
+	}
+	for r, ov := range o.rows {
+		sv, ok := s.rows[r]
+		if !ok {
+			sv = rowInfo{val: rowBottom, curAct: true}
+		}
+		nv := joinRow(sv, ov)
+		if nv != sv {
+			s.rows[r], changed = nv, true
+		}
+	}
+	for r, sv := range s.rows {
+		if _, ok := o.rows[r]; !ok {
+			nv := joinRow(sv, rowInfo{val: rowBottom, curAct: true})
+			if nv != sv {
+				s.rows[r], changed = nv, true
+			}
+		}
+	}
+	return changed
+}

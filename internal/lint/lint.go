@@ -140,10 +140,18 @@ type Options struct {
 }
 
 func (o Options) geometry() Geometry {
-	if o.Geometry == (Geometry{}) {
-		return FullGeometry()
+	g := o.Geometry
+	full := FullGeometry()
+	if g.Tiles <= 0 {
+		g.Tiles = full.Tiles
 	}
-	return o.Geometry
+	if g.Rows <= 0 {
+		g.Rows = full.Rows
+	}
+	if g.Cols <= 0 {
+		g.Cols = full.Cols
+	}
+	return g
 }
 
 // Rule is one registered analysis pass.
@@ -192,6 +200,16 @@ type Pass struct {
 	AllValid bool
 
 	diags []Diagnostic
+	itp   *interp
+}
+
+// interp returns the pass's fixpoint abstract interpretation, solving
+// it on first use and sharing the solution between rules.
+func (p *Pass) interp() *interp {
+	if p.itp == nil {
+		p.itp = newInterp(p.Prog, p.Opts, p.Valid)
+	}
+	return p.itp
 }
 
 // Report files a diagnostic against instruction idx (-1 for
@@ -334,15 +352,21 @@ func Lint(prog isa.Program, opts Options) Report {
 			pass.diags[i].Line = opts.LineMap[idx]
 		}
 	}
+	// One deterministic order whatever the rule-registration order:
+	// errors first, then warnings, then infos; within a severity by
+	// stream position, then rule ID, then message text.
 	sort.SliceStable(pass.diags, func(i, j int) bool {
 		a, b := pass.diags[i], pass.diags[j]
-		if a.Index != b.Index {
-			return a.Index < b.Index
-		}
 		if a.Severity != b.Severity {
 			return a.Severity > b.Severity
 		}
-		return a.Rule < b.Rule
+		if a.Index != b.Index {
+			return a.Index < b.Index
+		}
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		return a.Message < b.Message
 	})
 	return Report{Diagnostics: pass.diags}
 }
