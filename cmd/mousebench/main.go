@@ -4,8 +4,8 @@
 // Usage:
 //
 //	mousebench [-experiment all|table1|table2|table3|table4|fig9|fig10|fig11|fig12|
-//	            crossover|robustness|checkpoint|parallelism|fft]
-//	           [-parallel N] [-json] [-telemetry] [-out FILE]
+//	            crossover|robustness|checkpoint|parallelism|fft|batch]
+//	           [-batch N] [-parallel N] [-json] [-telemetry] [-out FILE]
 //	           [-cpuprofile FILE] [-memprofile FILE]
 //
 // Each experiment prints the same rows or series the paper reports; see
@@ -21,6 +21,12 @@
 // the selected experiments run: with -json the report gains the
 // optional "telemetry" section (replays, outage durations, energy by
 // phase); in table mode a summary block is appended after the tables.
+//
+// -batch N runs only the batch-inference throughput experiment with N
+// bit-slice lanes (1–64): every hot workload is replayed through the
+// bit-sliced batch engine and timed against the sequential controller
+// path, reporting host ns/inference for both. Without the flag the
+// registry's batch experiment runs at the full 64 lanes.
 //
 // -cpuprofile and -memprofile write pprof profiles of the selected
 // experiments (CPU sampled across the run; heap captured at the end),
@@ -42,6 +48,7 @@ import (
 
 func main() {
 	experiment := flag.String("experiment", "all", "which experiment to run")
+	batchLanes := flag.Int("batch", 0, "run only the batch throughput experiment with this many bit-slice lanes (1-64)")
 	parallel := flag.Int("parallel", 0, "sweep worker bound; 0 means one per CPU")
 	asJSON := flag.Bool("json", false, "emit a machine-readable report instead of tables")
 	telemetry := flag.Bool("telemetry", false, "collect run telemetry (replays, outages, energy by phase)")
@@ -65,7 +72,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, "mousebench:", err)
 		os.Exit(1)
 	}
-	runErr := runExperiments(*experiment, out, *parallel, *asJSON, *telemetry)
+	var runErr error
+	if *batchLanes != 0 {
+		runErr = bench.RunBatch(out, *batchLanes, *parallel, *asJSON)
+	} else {
+		runErr = runExperiments(*experiment, out, *parallel, *asJSON, *telemetry)
+	}
 	if err := stop(); err != nil {
 		fmt.Fprintln(os.Stderr, "mousebench:", err)
 		os.Exit(1)

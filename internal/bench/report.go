@@ -6,6 +6,7 @@ import (
 	"io"
 	"time"
 
+	"mouse/internal/array"
 	"mouse/internal/mtj"
 	"mouse/internal/probe"
 )
@@ -61,6 +62,15 @@ func (r *Report) Normalize() {
 	r.Parallelism = 0
 	for i := range r.Experiments {
 		r.Experiments[i].WallSeconds = 0
+		// The batch experiment's throughput numbers are host wall clock
+		// too; only its shape and mismatch count are simulation output.
+		if rows, ok := r.Experiments[i].Rows.([]BatchRow); ok {
+			for j := range rows {
+				rows[j].NsSequential = 0
+				rows[j].NsBatched = 0
+				rows[j].Speedup = 0
+			}
+		}
 	}
 	// Telemetry floats accumulate in pool-scheduling order, so two runs
 	// of the same experiments at different parallelism can differ in the
@@ -194,6 +204,15 @@ func Experiments() []Experiment {
 					return nil, err
 				}
 				return []CrossoverResult{{PowerW: p}}, nil
+			},
+		},
+		{
+			Name: "batch",
+			Print: func(w io.Writer, workers int, _ ...probe.Observer) error {
+				return PrintBatchChecked(w, array.MaxLanes, workers)
+			},
+			Rows: func(workers int, _ ...probe.Observer) (any, error) {
+				return ComputeBatch(array.MaxLanes, workers)
 			},
 		},
 	}

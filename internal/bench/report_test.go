@@ -3,17 +3,18 @@ package bench
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
 	"reflect"
-	"sort"
 	"strings"
 	"testing"
 )
 
 func TestExperimentRegistryIsComplete(t *testing.T) {
 	want := []string{"table1", "table2", "table3", "table4", "fig9", "fig10",
-		"fig11", "fig12", "fft", "robustness", "checkpoint", "parallelism", "crossover"}
+		"fig11", "fig12", "fft", "robustness", "checkpoint", "parallelism", "crossover",
+		"batch"}
 	exps := Experiments()
 	if len(exps) != len(want) {
 		t.Fatalf("%d experiments, want %d", len(exps), len(want))
@@ -108,12 +109,14 @@ func TestNormalizeStripsRunEnvironment(t *testing.T) {
 	}
 }
 
-// TestSeedBaselineReport consumes the committed BENCH_*.json perf
-// trajectory: the seed baseline (BENCH_0.json) must exist, and every
-// snapshot a PR adds on top of it must stay schema-valid and cover the
-// full experiment registry, so trajectory files remain comparable
-// across the whole sequence.
-func TestSeedBaselineReport(t *testing.T) {
+// TestBenchTrajectory consumes the committed BENCH_*.json perf
+// trajectory. Older snapshots were written by older registries, so the
+// contract is monotone, not uniform: the numbered files must be
+// contiguous from BENCH_0.json, every file schema-valid with a
+// non-decreasing schema version, each snapshot's experiment set must
+// contain its predecessor's (experiments are only ever added), and the
+// newest snapshot must cover the full current registry.
+func TestBenchTrajectory(t *testing.T) {
 	paths, err := filepath.Glob("../../BENCH_*.json")
 	if err != nil {
 		t.Fatal(err)
@@ -121,13 +124,24 @@ func TestSeedBaselineReport(t *testing.T) {
 	if len(paths) == 0 {
 		t.Fatal("seed baseline BENCH_0.json missing")
 	}
-	sort.Strings(paths)
-	if filepath.Base(paths[0]) != "BENCH_0.json" {
-		t.Fatalf("trajectory %v does not start at BENCH_0.json", paths)
+	for i := range paths {
+		want := fmt.Sprintf("BENCH_%d.json", i)
+		found := false
+		for _, p := range paths {
+			if filepath.Base(p) == want {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("trajectory %v is not contiguous: missing %s", paths, want)
+		}
 	}
-	for _, path := range paths {
-		name := filepath.Base(path)
-		data, err := os.ReadFile(path)
+	var prevVersion int
+	var prevSeen map[string]bool
+	for i := range paths {
+		name := fmt.Sprintf("BENCH_%d.json", i)
+		data, err := os.ReadFile(filepath.Join("../..", name))
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -135,12 +149,14 @@ func TestSeedBaselineReport(t *testing.T) {
 		if err := json.Unmarshal(data, &rep); err != nil {
 			t.Fatalf("%s invalid: %v", name, err)
 		}
-		if rep.Schema != Schema {
-			t.Errorf("%s: schema %q, want %q", name, rep.Schema, Schema)
+		var version int
+		if _, err := fmt.Sscanf(rep.Schema, "mouse-bench/v%d", &version); err != nil || version < 1 {
+			t.Fatalf("%s: unparseable schema %q", name, rep.Schema)
 		}
-		if len(rep.Experiments) != len(Experiments()) {
-			t.Errorf("%s has %d experiments, registry has %d", name, len(rep.Experiments), len(Experiments()))
+		if version < prevVersion {
+			t.Errorf("%s: schema version v%d regressed below v%d", name, version, prevVersion)
 		}
+		prevVersion = version
 		seen := map[string]bool{}
 		for _, e := range rep.Experiments {
 			if e.Name == "" || e.Rows == nil {
@@ -154,10 +170,18 @@ func TestSeedBaselineReport(t *testing.T) {
 			}
 			seen[e.Name] = true
 		}
-		for _, e := range Experiments() {
-			if !seen[e.Name] {
-				t.Errorf("%s: missing experiment %q", name, e.Name)
+		for exp := range prevSeen {
+			if !seen[exp] {
+				t.Errorf("%s: dropped experiment %q present in BENCH_%d.json", name, exp, i-1)
 			}
+		}
+		prevSeen = seen
+	}
+	// The newest snapshot must speak for the whole current registry.
+	newest := fmt.Sprintf("BENCH_%d.json", len(paths)-1)
+	for _, e := range Experiments() {
+		if !prevSeen[e.Name] {
+			t.Errorf("%s: missing experiment %q from the current registry", newest, e.Name)
 		}
 	}
 }

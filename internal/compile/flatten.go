@@ -1,0 +1,24 @@
+package compile
+
+import (
+	"mouse/internal/array"
+	"mouse/internal/isa"
+	"mouse/internal/mtj"
+)
+
+// Flatten is the compile-once entry point of the bit-sliced batch
+// engine: it turns a finished program into the flat op array
+// (array.FlatProgram) that array.BatchMachine.Replay executes with no
+// per-instruction validation, truth-table lookup, or activation
+// decoding — compile once, replay per batch. Hot inference workloads
+// (the SVM and BNN mappings, internal/workload's cached batch recipes)
+// flatten their programs at build time and reuse the result for every
+// batch.
+//
+// The implementation lives next to the replay executor in
+// internal/array; this wrapper is the program-producer-facing name for
+// it, mirroring how Builder is the producer-facing way to construct the
+// isa.Program it consumes.
+func Flatten(p isa.Program, cfg *mtj.Config, nTiles, rows, cols int) (*array.FlatProgram, error) {
+	return array.Flatten(p, cfg, nTiles, rows, cols)
+}

@@ -1,0 +1,187 @@
+package fault
+
+import (
+	"fmt"
+
+	"mouse/internal/array"
+	"mouse/internal/controller"
+	"mouse/internal/mtj"
+	"mouse/internal/sim"
+	"mouse/internal/svm"
+)
+
+// Batched-inference coverage: the bit-sliced engine only runs on
+// continuous power (interrupted pulses fall back to the scalar path per
+// lane), so its intermittency story decomposes into two obligations
+// this file sweeps together:
+//
+//  1. The batched fast path must be state- and accounting-identical to
+//     each lane's golden continuous run — otherwise a deployment that
+//     batches when energy is plentiful and falls back when it is not
+//     would compute different answers depending on the weather.
+//  2. Each lane's scalar fallback — the path a harvested deployment
+//     actually executes — must be crash-equivalent at every injection
+//     point with at most one replay, exactly like every other workload.
+
+// BatchWorkload is a batched bit-accurate workload: one shared program
+// replayed across lanes with per-lane inputs.
+type BatchWorkload struct {
+	Name string
+	Cfg  *mtj.Config
+	// Lanes is the batch width under test (1–64).
+	Lanes int
+	// Sim carries the program, geometry, and per-lane loader; it is the
+	// same value a sim.RunnerBatch consumes.
+	Sim sim.BatchWorkload
+}
+
+// Lane builds the scalar per-lane workload: a fresh controller over a
+// fresh machine seeded with that lane's inputs — exactly what the
+// batched engine's fallback runs for the lane under an outage.
+func (w BatchWorkload) Lane(lane int) Workload {
+	return Workload{
+		Name: fmt.Sprintf("%s[lane %d]", w.Name, lane),
+		New: func() (*controller.Controller, error) {
+			m := array.NewMachine(w.Cfg, w.Sim.Tiles, w.Sim.Rows, w.Sim.Cols)
+			err := w.Sim.Load(lane, func(tile, row, col, bit int) {
+				m.Tiles[tile].SetBit(row, col, bit)
+			})
+			if err != nil {
+				return nil, err
+			}
+			return controller.New(controller.ProgramStore(w.Sim.Prog), m), nil
+		},
+	}
+}
+
+// BatchReport aggregates a batched sweep: the batch-vs-golden
+// differential outcome plus one full crash-sweep report per lane.
+type BatchReport struct {
+	Workload string `json:"workload"`
+	Lanes    int    `json:"lanes"`
+	// BatchMismatches holds per-lane divergences between the batched
+	// fast path and that lane's golden continuous run (state or
+	// accounting); empty on a correct engine.
+	BatchMismatches []string `json:"batch_mismatches,omitempty"`
+	// LaneReports[k] is lane k's exhaustive crash sweep over the scalar
+	// fallback path.
+	LaneReports []*Report `json:"lane_reports"`
+}
+
+// AllEquivalent reports whether the batched path matched every lane's
+// golden run and every lane's crash sweep was fully equivalent.
+func (r *BatchReport) AllEquivalent() bool {
+	if len(r.BatchMismatches) > 0 {
+		return false
+	}
+	for _, lr := range r.LaneReports {
+		if !lr.AllEquivalent() {
+			return false
+		}
+	}
+	return true
+}
+
+// MaxReplays is the worst per-outage replay count across all lanes.
+func (r *BatchReport) MaxReplays() uint64 {
+	var max uint64
+	for _, lr := range r.LaneReports {
+		if lr.MaxReplays > max {
+			max = lr.MaxReplays
+		}
+	}
+	return max
+}
+
+// Normalize zeroes run-environment fields in every lane report.
+func (r *BatchReport) Normalize() {
+	for _, lr := range r.LaneReports {
+		lr.Normalize()
+	}
+}
+
+// SweepBatch runs the two-obligation batched sweep: golden runs per
+// lane, one batched fast-path replay checked lane-by-lane against them,
+// then an exhaustive per-lane crash sweep of the scalar fallback.
+func SweepBatch(w BatchWorkload, opts Options) (*BatchReport, error) {
+	if w.Lanes < 1 || w.Lanes > array.MaxLanes {
+		return nil, fmt.Errorf("fault: batch lanes %d outside [1, %d]", w.Lanes, array.MaxLanes)
+	}
+	rep := &BatchReport{Workload: w.Name, Lanes: w.Lanes}
+
+	goldens := make([]*Golden, w.Lanes)
+	for lane := range goldens {
+		g, err := RunGolden(w.Lane(lane))
+		if err != nil {
+			return nil, err
+		}
+		goldens[lane] = g
+	}
+
+	rb, err := sim.NewRunnerBatch(w.Cfg, w.Sim)
+	if err != nil {
+		return nil, err
+	}
+	snaps := make([]*snapshot, w.Lanes)
+	results, err := rb.Run(w.Lanes, &sim.BatchRun{
+		Visit: func(lane int, m *array.Machine) error {
+			snaps[lane] = captureMachine(m)
+			return nil
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	for lane, g := range goldens {
+		if d := g.snap.diffState(snaps[lane]); d != "" {
+			rep.BatchMismatches = append(rep.BatchMismatches,
+				fmt.Sprintf("lane %d: batched state diverges from golden: %s", lane, d))
+		}
+		if results[lane] != g.Result {
+			rep.BatchMismatches = append(rep.BatchMismatches,
+				fmt.Sprintf("lane %d: batched accounting %+v, golden %+v", lane, results[lane], g.Result))
+		}
+	}
+
+	for lane := 0; lane < w.Lanes; lane++ {
+		lr, err := Sweep(w.Lane(lane), opts)
+		if err != nil {
+			return nil, err
+		}
+		rep.LaneReports = append(rep.LaneReports, lr)
+	}
+	return rep, nil
+}
+
+// TinySVMBatch maps the hand-built two-class SVM onto the batched
+// engine with per-lane distinct binarized inputs (lane k feeds the
+// 2-bit input k), compiled once and shared by the batched replay and
+// every per-lane fallback controller.
+func TinySVMBatch(cfg *mtj.Config) (BatchWorkload, error) {
+	im := tinySVMModel()
+	mp, err := svm.CompileMapping(im, svmRows, 1)
+	if err != nil {
+		return BatchWorkload{}, err
+	}
+	const lanes = 4
+	return BatchWorkload{
+		Name:  "tiny-svm-batch",
+		Cfg:   cfg,
+		Lanes: lanes,
+		Sim: sim.BatchWorkload{
+			Prog:  mp.Prog,
+			Tiles: 1, Rows: svmRows, Cols: arithCols,
+			Load: func(lane int, set func(tile, row, col, bit int)) error {
+				input := []int{lane & 1, lane >> 1 & 1}
+				for c := 0; c < mp.Columns; c++ {
+					for j, rows := range mp.InputRows {
+						for i, row := range rows {
+							set(0, row, c, input[j]>>i&1)
+						}
+					}
+				}
+				return nil
+			},
+		},
+	}, nil
+}

@@ -30,6 +30,7 @@ package fault
 import (
 	"fmt"
 
+	"mouse/internal/array"
 	"mouse/internal/controller"
 	"mouse/internal/energy"
 	"mouse/internal/isa"
@@ -201,8 +202,16 @@ type snapshot struct {
 }
 
 func capture(c *controller.Controller) *snapshot {
-	m := c.Machine()
-	s := &snapshot{buffer: append([]byte(nil), m.Buffer...), pc: c.NV.PC()}
+	s := captureMachine(c.Machine())
+	s.pc = c.NV.PC()
+	return s
+}
+
+// captureMachine snapshots the machine-only state (cells and buffer,
+// no program counter) — the comparison unit for the batched engine,
+// which replays flat programs without a controller.
+func captureMachine(m *array.Machine) *snapshot {
+	s := &snapshot{buffer: append([]byte(nil), m.Buffer...)}
 	for _, t := range m.Tiles {
 		rows := make([][]byte, t.Rows())
 		for r := range rows {
@@ -220,6 +229,18 @@ func capture(c *controller.Controller) *snapshot {
 
 // diff reports the first divergence between two snapshots, or "".
 func (s *snapshot) diff(o *snapshot) string {
+	if d := s.diffState(o); d != "" {
+		return d
+	}
+	if s.pc != o.pc {
+		return fmt.Sprintf("final PC %d vs %d", s.pc, o.pc)
+	}
+	return ""
+}
+
+// diffState compares the machine-only state (cells and buffer),
+// skipping the program counter — the batched replay has none.
+func (s *snapshot) diffState(o *snapshot) string {
 	if len(s.tiles) != len(o.tiles) {
 		return fmt.Sprintf("tile count %d vs %d", len(s.tiles), len(o.tiles))
 	}
@@ -235,9 +256,6 @@ func (s *snapshot) diff(o *snapshot) string {
 	}
 	if string(s.buffer) != string(o.buffer) {
 		return "memory buffer diverges"
-	}
-	if s.pc != o.pc {
-		return fmt.Sprintf("final PC %d vs %d", s.pc, o.pc)
 	}
 	return ""
 }

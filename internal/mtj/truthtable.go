@@ -174,6 +174,48 @@ func deriveEntry(g GateKind, cfg *Config) gateEntry {
 	return e
 }
 
+// SwitchWord evaluates the table's P-count threshold 64 lanes at a
+// time: bit i of each argument is one independent evaluation's input
+// (inputs beyond the gate's arity are ignored), and bit i of the result
+// reports whether that evaluation's output switches under a full pulse.
+// This is the single word-parallel form of the table's dispatch — the
+// packed column engine and the bit-sliced batch engine both implement
+// exactly these masks, and tests hold them to it lane by lane against
+// SwitchAtP.
+//
+// The complements count P (logic 0) inputs: with m = MinSwitchP, the
+// masks below are the threshold functions "at least m of the inputs are
+// P", specialized per arity.
+func (t *TruthTable) SwitchWord(a, b, c uint64) uint64 {
+	m := t.MinSwitchP
+	switch {
+	case m <= 0:
+		return ^uint64(0)
+	case m > t.Inputs:
+		return 0
+	}
+	switch t.Inputs {
+	case 1:
+		return ^a
+	case 2:
+		pa, pb := ^a, ^b
+		if m == 1 {
+			return pa | pb
+		}
+		return pa & pb
+	default: // 3
+		pa, pb, pc := ^a, ^b, ^c
+		switch m {
+		case 1:
+			return pa | pb | pc
+		case 2:
+			return pa&(pb|pc) | pb&pc
+		default:
+			return pa & pb & pc
+		}
+	}
+}
+
 // Table returns the memoized full-pulse truth table for gate g under
 // cfg. It fails exactly when Bias fails (an empty bias window makes the
 // gate unrealizable).

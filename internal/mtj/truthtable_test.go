@@ -83,6 +83,53 @@ func TestTableScaledConfigGetsFreshEntry(t *testing.T) {
 	}
 }
 
+// TestSwitchWordMatchesSwitchAtP holds the word-parallel dispatch to
+// the scalar table lane by lane: for every gate, configuration, and
+// input pattern, packing the pattern into one lane of SwitchWord's
+// arguments must reproduce SwitchAtP's answer in that lane, with no
+// leakage into other lanes.
+func TestSwitchWordMatchesSwitchAtP(t *testing.T) {
+	for _, cfg := range Configs() {
+		for g := GateKind(0); g.Valid(); g++ {
+			tbl, err := Table(g, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			n := tbl.Inputs
+			for v := 0; v < 1<<n; v++ {
+				p := 0
+				for i := 0; i < n; i++ {
+					if v>>i&1 == 0 {
+						p++
+					}
+				}
+				want := tbl.SwitchAtP[p]
+				for lane := 0; lane < 64; lane += 13 {
+					// Lane under test carries the pattern; every other lane
+					// carries all-AP inputs (0 P inputs).
+					var a, b, c uint64
+					if n >= 1 {
+						a = ^uint64(0)&^(1<<lane) | uint64(v&1)<<lane
+					}
+					if n >= 2 {
+						b = ^uint64(0)&^(1<<lane) | uint64(v>>1&1)<<lane
+					}
+					if n >= 3 {
+						c = ^uint64(0)&^(1<<lane) | uint64(v>>2&1)<<lane
+					}
+					w := tbl.SwitchWord(a, b, c)
+					if got := w>>lane&1 == 1; got != want {
+						t.Errorf("%s/%s pattern %b lane %d: SwitchWord %v, SwitchAtP[%d] %v", cfg.Name, g, v, lane, got, p, want)
+					}
+					if others := w &^ (1 << lane); others != 0 && tbl.MinSwitchP > 0 {
+						t.Errorf("%s/%s pattern %b lane %d: leaked into lanes %#x", cfg.Name, g, v, lane, others)
+					}
+				}
+			}
+		}
+	}
+}
+
 // TestTableDrivesSameSwitchDecisionAsNetwork cross-checks the memoized
 // threshold against a direct DriveCurrent evaluation for every input
 // pattern (not just the canonical k-P orderings used in derivation).

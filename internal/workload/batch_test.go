@@ -1,0 +1,69 @@
+package workload
+
+import (
+	"testing"
+)
+
+// TestHotBatchesMatchSequential: every registry entry's batched
+// classifier must agree label-for-label with its sequential reference
+// on a capacity-spanning sample pool, including across back-to-back
+// batches on the same engine.
+func TestHotBatchesMatchSequential(t *testing.T) {
+	for _, hb := range HotBatches() {
+		hb := hb
+		t.Run(hb.Name, func(t *testing.T) {
+			if hb.Capacity <= 0 || hb.LaneWidth <= 0 || hb.Capacity%hb.LaneWidth != 0 {
+				t.Fatalf("degenerate shape: capacity %d, lane width %d", hb.Capacity, hb.LaneWidth)
+			}
+			batched, err := hb.NewBatched()
+			if err != nil {
+				t.Fatal(err)
+			}
+			sequential, err := hb.NewSequential()
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Two rounds: catches state leaking between replays.
+			for round := 0; round < 2; round++ {
+				n := 2*hb.LaneWidth + 1
+				if n > hb.Capacity {
+					n = hb.Capacity
+				}
+				samples := hb.Samples(n)
+				if len(samples) != n {
+					t.Fatalf("round %d: got %d samples, want %d", round, len(samples), n)
+				}
+				got, err := batched(samples)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, err := sequential(samples)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(got) != n || len(want) != n {
+					t.Fatalf("round %d: %d batched / %d sequential labels, want %d", round, len(got), len(want), n)
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("round %d sample %d: batched class %d, sequential %d", round, i, got[i], want[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestHotBatchByName: lookup resolves registry names and rejects
+// unknown ones.
+func TestHotBatchByName(t *testing.T) {
+	for _, hb := range HotBatches() {
+		got, err := HotBatchByName(hb.Name)
+		if err != nil || got.Name != hb.Name {
+			t.Fatalf("lookup %q: %v %v", hb.Name, got.Name, err)
+		}
+	}
+	if _, err := HotBatchByName("nope"); err == nil {
+		t.Fatal("unknown hot batch accepted")
+	}
+}
