@@ -123,6 +123,50 @@ func benchmarkFig9Sweep(b *testing.B, workers int) {
 func BenchmarkFig9SweepSerial(b *testing.B)   { benchmarkFig9Sweep(b, 1) }
 func BenchmarkFig9SweepParallel(b *testing.B) { benchmarkFig9Sweep(b, 0) }
 
+// Stepping vs segment A/B on one Fig. 9 row (a benchmark's full power
+// sweep, single worker): the intermittent-path speedup the segment
+// engine delivers, tracked so engine regressions show up in
+// `go test -bench Fig9Row`. Both variants compute bit-identical
+// Results; only the engine differs.
+func benchmarkFig9Row(b *testing.B, force bool) {
+	cfg := mtj.ModernSTT()
+	model := energy.NewModel(cfg)
+	spec := workload.Benchmarks()[0] // SVM MNIST
+	powers := bench.Powers()
+	var restarts uint64
+	for i := 0; i < b.N; i++ {
+		restarts = 0
+		if force {
+			for _, watts := range powers {
+				r := sim.NewRunner(model)
+				r.ForceStepping = true
+				h := power.NewHarvester(power.Constant{W: watts}, cfg.CapC, cfg.CapVMin, cfg.CapVMax)
+				res, err := r.Run(spec.Stream(), h)
+				if err != nil {
+					b.Fatal(err)
+				}
+				restarts += res.Restarts
+			}
+		} else {
+			hs := make([]*power.Harvester, len(powers))
+			for j, watts := range powers {
+				hs[j] = power.NewHarvester(power.Constant{W: watts}, cfg.CapC, cfg.CapVMin, cfg.CapVMax)
+			}
+			results, errs := sim.NewRunner(model).RunSweep(spec.Stream(), hs)
+			for j, err := range errs {
+				if err != nil {
+					b.Fatal(err)
+				}
+				restarts += results[j].Restarts
+			}
+		}
+	}
+	b.ReportMetric(float64(restarts), "restarts")
+}
+
+func BenchmarkFig9RowStepping(b *testing.B) { benchmarkFig9Row(b, true) }
+func BenchmarkFig9RowSegment(b *testing.B)  { benchmarkFig9Row(b, false) }
+
 // --- Figs. 10–12: breakdowns at 60 µW --------------------------------------
 
 func benchmarkBreakdown(b *testing.B, cfg *mtj.Config) {

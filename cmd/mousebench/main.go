@@ -4,7 +4,7 @@
 // Usage:
 //
 //	mousebench [-experiment all|table1|table2|table3|table4|fig9|fig10|fig11|fig12|
-//	            crossover|robustness|checkpoint|parallelism|fft|batch]
+//	            crossover|robustness|checkpoint|parallelism|fft|batch|segment]
 //	           [-batch N] [-parallel N] [-json] [-telemetry] [-out FILE]
 //	           [-cpuprofile FILE] [-memprofile FILE]
 //

@@ -71,6 +71,15 @@ func (r *Report) Normalize() {
 				rows[j].Speedup = 0
 			}
 		}
+		// Likewise the segment experiment's sweep timings; its restart
+		// totals and mismatch counts are simulation output.
+		if rows, ok := r.Experiments[i].Rows.([]SegmentRow); ok {
+			for j := range rows {
+				rows[j].NsStepping = 0
+				rows[j].NsSegment = 0
+				rows[j].Speedup = 0
+			}
+		}
 	}
 	// Telemetry floats accumulate in pool-scheduling order, so two runs
 	// of the same experiments at different parallelism can differ in the
@@ -213,6 +222,15 @@ func Experiments() []Experiment {
 			},
 			Rows: func(workers int, _ ...probe.Observer) (any, error) {
 				return ComputeBatch(array.MaxLanes, workers)
+			},
+		},
+		{
+			Name: "segment",
+			Print: func(w io.Writer, workers int, _ ...probe.Observer) error {
+				return PrintSegmentChecked(w, workers)
+			},
+			Rows: func(workers int, _ ...probe.Observer) (any, error) {
+				return ComputeSegment(workers)
 			},
 		},
 	}

@@ -101,6 +101,12 @@ type CrossResult struct {
 	Sweep        *Report
 	SimCompleted bool
 	SimErr       error
+
+	// SegmentMismatch is non-empty when the analytic segment engine and
+	// the stepping engine disagree on the intermittent run — a third
+	// differential axis alongside static-vs-dynamic: the two simulator
+	// paths must be bit-identical on the same stream and capacitor.
+	SegmentMismatch string
 }
 
 // chargeWatts supplies the cross-validation harvester: strong enough
@@ -134,12 +140,27 @@ func CrossValidate(s Subject, cfg *mtj.Config, opts Options) (*CrossResult, erro
 
 	// The intermittent run: same program, same capacitor, a steady
 	// source. Completion here is the dynamic analogue of the WCE
-	// certificate's feasibility verdict.
+	// certificate's feasibility verdict. The constant source makes the
+	// stream eligible for the analytic segment engine, so this run also
+	// exercises the fast path...
 	h := power.NewHarvester(power.Constant{W: chargeWatts}, cfg.CapC, cfg.CapVMin, cfg.CapVMax)
 	runner := &sim.Runner{Model: model, MaxChargeWait: 24 * 3600}
 	res, runErr := runner.Run(sim.StreamFromProgram(s.Prog, s.Tiles), h)
 	r.SimCompleted = runErr == nil && res.Completed
 	r.SimErr = runErr
+
+	// ...and the stepping engine must agree with it bit for bit on the
+	// very same stream (the simulator-internal differential).
+	hStep := power.NewHarvester(power.Constant{W: chargeWatts}, cfg.CapC, cfg.CapVMin, cfg.CapVMax)
+	stepper := &sim.Runner{Model: model, MaxChargeWait: 24 * 3600, ForceStepping: true}
+	stepRes, stepErr := stepper.Run(sim.StreamFromProgram(s.Prog, s.Tiles), hStep)
+	switch {
+	case (runErr == nil) != (stepErr == nil),
+		runErr != nil && stepErr != nil && runErr.Error() != stepErr.Error():
+		r.SegmentMismatch = fmt.Sprintf("segment err %v vs stepping err %v", runErr, stepErr)
+	case res != stepRes:
+		r.SegmentMismatch = fmt.Sprintf("segment %+v vs stepping %+v", res, stepRes)
+	}
 
 	swp, err := Sweep(s.Workload, opts)
 	if err != nil {
@@ -181,6 +202,9 @@ func (r *CrossResult) Disagreement() string {
 	if !r.Term.OK && r.Cert.Feasible {
 		return fmt.Sprintf("%s: termination check finds op %d needs %.3g J > window %.3g J, but the certificate claims feasibility",
 			r.Name, r.Term.MaxOpIndex, r.Term.MaxOpJ, r.Term.WindowJ)
+	}
+	if r.SegmentMismatch != "" {
+		return fmt.Sprintf("%s: segment engine disagrees with stepping engine: %s", r.Name, r.SegmentMismatch)
 	}
 	return ""
 }

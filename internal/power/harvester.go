@@ -58,6 +58,28 @@ func NewHarvester(src Source, capacitance, vOff, vOn float64) *Harvester {
 // Now returns the simulation clock in seconds.
 func (h *Harvester) Now() float64 { return h.now }
 
+// AdvanceClock adds dt seconds to the simulation clock with no energy
+// exchange. The analytic segment engine (internal/sim) accounts energy
+// and buffer voltage itself and commits its elapsed time in bulk when a
+// run finishes.
+func (h *Harvester) AdvanceClock(dt float64) { h.now += dt }
+
+// vmax returns the effective voltage cap: VMax, defaulting to VOn when
+// zero — the documented default, which a Harvester built as a struct
+// literal relies on (NewHarvester always fills VMax in).
+func (h *Harvester) vmax() float64 {
+	if h.VMax == 0 {
+		return h.VOn
+	}
+	return h.VMax
+}
+
+// SamplingEnabled reports whether voltage sampling is live: an observer
+// is attached and SampleEvery is positive. A harvester with sampling
+// disabled behaves identically whether or not Obs is set, which is what
+// makes it eligible for the segment engine's bulk accounting.
+func (h *Harvester) SamplingEnabled() bool { return h.Obs != nil && h.SampleEvery > 0 }
+
 // Validate checks the harvester's physical configuration: a positive
 // capacitance, a positive voltage window ordered vOn > vOff > 0, and a
 // cap VMax that does not sit below the restart voltage. ChargeUntilOn
@@ -113,21 +135,22 @@ func (h *Harvester) ChargeUntilOn(maxWait float64) (float64, error) {
 	}
 	start := h.now
 	target := 0.5 * h.Cap.C * h.VOn * h.VOn
-	if c, isConst := h.Src.(Constant); isConst {
-		if c.W <= 0 {
-			return 0, fmt.Errorf("power: source %s cannot charge the buffer", h.Src.Name())
+	if _, isConst := h.Src.(Constant); isConst {
+		plan, _ := h.Plan()
+		dt, charged, err := plan.ChargeTime(h.Cap.Energy(), maxWait)
+		if err != nil {
+			return 0, err
 		}
-		need := target - h.Cap.Energy()
-		if need > 0 {
-			dt := need / c.W
-			if dt > maxWait {
-				return 0, fmt.Errorf("power: charging would take %.3g s, beyond the %.3g s limit", dt, maxWait)
-			}
+		if charged {
 			h.now += dt
 			h.Cap.SetVoltage(h.VOn)
 			h.sample(true)
 		}
-		return h.now - start, nil
+		// The closed form is returned directly rather than as a clock
+		// difference: fl((now+dt)−now) wobbles with the clock's
+		// magnitude, and the segment engine must see the same off-time
+		// at every outage of a steady source.
+		return dt, nil
 	}
 	for h.Cap.Energy() < target {
 		if h.now-start > maxWait {
@@ -138,8 +161,8 @@ func (h *Harvester) ChargeUntilOn(maxWait float64) (float64, error) {
 		h.now += chargeQuantum
 		h.sample(false)
 	}
-	if h.Cap.Voltage() > h.VMax {
-		h.Cap.SetVoltage(h.VMax)
+	if h.Cap.Voltage() > h.vmax() {
+		h.Cap.SetVoltage(h.vmax())
 	}
 	h.sample(true)
 	return h.now - start, nil
@@ -156,8 +179,8 @@ func (h *Harvester) Draw(dt, e float64) float64 {
 	budget := h.Cap.EnergyAbove(h.VOff) + harvest
 	if e <= budget || e <= 0 {
 		h.Cap.AddEnergy(harvest - e)
-		if h.Cap.Voltage() > h.VMax {
-			h.Cap.SetVoltage(h.VMax)
+		if h.Cap.Voltage() > h.vmax() {
+			h.Cap.SetVoltage(h.vmax())
 		}
 		h.now += dt
 		h.sample(false)
@@ -174,9 +197,77 @@ func (h *Harvester) Draw(dt, e float64) float64 {
 // level-switch portion of a cycle), still harvesting.
 func (h *Harvester) Idle(dt float64) {
 	h.Cap.AddEnergy(h.Src.Power(h.now) * dt)
-	if h.Cap.Voltage() > h.VMax {
-		h.Cap.SetVoltage(h.VMax)
+	if h.Cap.Voltage() > h.vmax() {
+		h.Cap.SetVoltage(h.vmax())
 	}
 	h.now += dt
 	h.sample(false)
+}
+
+// WindowEnergy returns the energy one full voltage-window discharge
+// supplies, ½C(VOn²−VOff²) — the budget the simulator's non-termination
+// guard compares single instructions against.
+func (h *Harvester) WindowEnergy() float64 {
+	return 0.5 * h.Cap.C * (h.VOn*h.VOn - h.VOff*h.VOff)
+}
+
+// ConstantPlan is the closed-form arithmetic of a constant-source
+// harvester: everything Draw and ChargeUntilOn compute step by step,
+// exposed as plain constants so the analytic segment engine
+// (internal/sim) can retire whole outage-to-outage windows without
+// touching the harvester. The fields reuse the exact expressions of the
+// stepping methods, so accounting built from a plan is bit-identical to
+// stepping.
+type ConstantPlan struct {
+	// W is the source power in watts; C the buffer capacitance.
+	W, C float64
+	// VOff and VOn are the shutdown and restart voltages; VMax is the
+	// effective voltage cap (the zero-defaults-to-VOn rule applied).
+	VOff, VOn, VMax float64
+	// TargetE is the stored energy at VOn — ChargeUntilOn's recharge
+	// target — and WindowJ the full-window discharge budget.
+	TargetE float64
+	WindowJ float64
+
+	src Constant
+}
+
+// Plan returns the harvester's closed-form plan, or ok=false for any
+// non-constant source (traces, solar, RF bursts evolve with the clock
+// and must be stepped).
+func (h *Harvester) Plan() (ConstantPlan, bool) {
+	c, isConst := h.Src.(Constant)
+	if !isConst || h.Cap == nil {
+		return ConstantPlan{}, false
+	}
+	return ConstantPlan{
+		W:       c.W,
+		C:       h.Cap.C,
+		VOff:    h.VOff,
+		VOn:     h.VOn,
+		VMax:    h.vmax(),
+		TargetE: 0.5 * h.Cap.C * h.VOn * h.VOn,
+		WindowJ: h.WindowEnergy(),
+		src:     c,
+	}, true
+}
+
+// ChargeTime is ChargeUntilOn's constant-source closed form over a
+// plain stored-energy value: the off-time to recharge from fromE to the
+// restart target. charged reports whether a recharge was needed — when
+// it was, the buffer ends exactly at VOn, which the caller applies
+// itself. The errors are the same ones ChargeUntilOn returns.
+func (p ConstantPlan) ChargeTime(fromE, maxWait float64) (dt float64, charged bool, err error) {
+	if p.W <= 0 {
+		return 0, false, fmt.Errorf("power: source %s cannot charge the buffer", p.src.Name())
+	}
+	need := p.TargetE - fromE
+	if need <= 0 {
+		return 0, false, nil
+	}
+	dt = need / p.W
+	if dt > maxWait {
+		return 0, false, fmt.Errorf("power: charging would take %.3g s, beyond the %.3g s limit", dt, maxWait)
+	}
+	return dt, true, nil
 }

@@ -1,0 +1,199 @@
+package power
+
+import (
+	"math"
+	"testing"
+
+	"mouse/internal/probe"
+)
+
+// voltRecorder counts voltage samples; everything else is a no-op.
+type voltRecorder struct {
+	probe.Nop
+	samples int
+}
+
+func (r *voltRecorder) VoltageSample(_, _ float64) { r.samples++ }
+
+// A zero VMax documents "defaults to VOn", but the clamp sites used to
+// compare against the raw field — a struct-literal harvester with
+// VMax==0 would clamp every post-draw voltage to zero. The clamps must
+// behave exactly as if VMax were VOn.
+func TestVMaxZeroDefaultsToVOn(t *testing.T) {
+	mk := func(vmax float64) *Harvester {
+		h := &Harvester{
+			Src:  Constant{W: 1e-3},
+			Cap:  NewCapacitor(100e-6, 0.9),
+			VOff: 0.5,
+			VOn:  0.9,
+			VMax: vmax,
+		}
+		return h
+	}
+	zero, explicit := mk(0), mk(0.9)
+	// A generous harvest window would overshoot VOn without the clamp.
+	fracZ := zero.Draw(1.0, 1e-9)
+	fracE := explicit.Draw(1.0, 1e-9)
+	if fracZ != 1.0 || fracE != 1.0 {
+		t.Fatalf("draws did not complete: %g, %g", fracZ, fracE)
+	}
+	if got, want := zero.Cap.Voltage(), explicit.Cap.Voltage(); got != want {
+		t.Fatalf("VMax=0 drew to %g V, explicit VMax=VOn to %g V", got, want)
+	}
+	if v := zero.Cap.Voltage(); v != 0.9 {
+		t.Fatalf("voltage after clamped harvest = %g, want exactly VOn (0.9)", v)
+	}
+
+	zero, explicit = mk(0), mk(0.9)
+	zero.Idle(1.0)
+	explicit.Idle(1.0)
+	if got, want := zero.Cap.Voltage(), explicit.Cap.Voltage(); got != want || got != 0.9 {
+		t.Fatalf("Idle clamp: VMax=0 ended at %g V, explicit at %g V, want 0.9", got, want)
+	}
+}
+
+// Long charges from a non-constant source integrate in fixed quanta and
+// can overshoot the target energy; the final voltage must be clamped to
+// VMax so the segment math can assume every recharge ends in
+// [VOn, VMax].
+func TestChargeClampsToVMax(t *testing.T) {
+	// A solar day peaking well above what the buffer needs.
+	h := NewHarvester(Solar{Peak: 5e-2, Period: 20}, 100e-6, 0.5, 0.9)
+	h.now = 5 // solar noon, maximum power
+	if _, err := h.ChargeUntilOn(1e6); err != nil {
+		t.Fatalf("ChargeUntilOn: %v", err)
+	}
+	if v := h.Cap.Voltage(); v > h.VMax {
+		t.Fatalf("charge ended at %g V, above VMax %g", v, h.VMax)
+	}
+	if v := h.Cap.Voltage(); v < h.VOn {
+		t.Fatalf("charge ended at %g V, below VOn %g", v, h.VOn)
+	}
+}
+
+// SampleEvery <= 0 must disable sampling entirely even with an observer
+// attached — the eligibility predicate the segment engine uses
+// (SamplingEnabled) relies on it.
+func TestSampleEveryZeroDisablesSampling(t *testing.T) {
+	rec := &voltRecorder{}
+	h := NewHarvester(Constant{W: 1e-3}, 100e-6, 0.5, 0.9)
+	h.Obs = rec
+	h.SampleEvery = 0
+	if h.SamplingEnabled() {
+		t.Fatal("SamplingEnabled() = true with SampleEvery = 0")
+	}
+	if _, err := h.ChargeUntilOn(1e6); err != nil {
+		t.Fatalf("ChargeUntilOn: %v", err)
+	}
+	h.Draw(1e-6, 1e-9)
+	h.Idle(1e-6)
+	h.Draw(1e-6, 1.0) // outage: forced envelope sample if sampling were on
+	if rec.samples != 0 {
+		t.Fatalf("observer saw %d samples with SampleEvery = 0, want 0", rec.samples)
+	}
+
+	h2 := NewHarvester(Constant{W: 1e-3}, 100e-6, 0.5, 0.9)
+	h2.Obs = rec
+	h2.SampleEvery = 1e-9
+	if !h2.SamplingEnabled() {
+		t.Fatal("SamplingEnabled() = false with observer and positive SampleEvery")
+	}
+	if _, err := h2.ChargeUntilOn(1e6); err != nil {
+		t.Fatalf("ChargeUntilOn: %v", err)
+	}
+	if rec.samples == 0 {
+		t.Fatal("observer saw no samples with sampling enabled")
+	}
+}
+
+// A buffer already at (or above) VOn needs no recharge: ChargeUntilOn
+// must return exactly zero elapsed time and leave the state untouched.
+func TestChargeUntilOnAlreadyCharged(t *testing.T) {
+	h := NewHarvester(Constant{W: 1e-3}, 100e-6, 0.5, 0.9)
+	h.Cap.SetVoltage(h.VOn)
+	before := h.Cap.Voltage()
+	dt, err := h.ChargeUntilOn(1e6)
+	if err != nil {
+		t.Fatalf("ChargeUntilOn: %v", err)
+	}
+	if dt != 0 {
+		t.Fatalf("charge time from VOn = %g, want exactly 0", dt)
+	}
+	if h.Cap.Voltage() != before || h.Now() != 0 {
+		t.Fatalf("state changed: v=%g (was %g), now=%g", h.Cap.Voltage(), before, h.Now())
+	}
+}
+
+// Successive full-window recharges of a constant source must report the
+// same off-time bit-for-bit regardless of how far the clock has run —
+// the property that lets the segment engine reuse a window's accounting
+// at any stream position. The closed form is returned directly instead
+// of as a clock difference precisely because fl((now+dt)-now) wobbles
+// with the clock magnitude.
+func TestConstantChargeTimeClockInvariant(t *testing.T) {
+	h := NewHarvester(Constant{W: 60e-6}, 100e-6, 0.5, 0.9)
+	var first float64
+	for i := 0; i < 5; i++ {
+		h.Cap.SetVoltage(h.VOff) // as after an outage
+		dt, err := h.ChargeUntilOn(1e9)
+		if err != nil {
+			t.Fatalf("recharge %d: %v", i, err)
+		}
+		if i == 0 {
+			first = dt
+			want := 0.5 * h.Cap.C * (h.VOn*h.VOn - h.VOff*h.VOff) / 60e-6
+			if dt != want {
+				t.Fatalf("closed-form charge time = %g, want %g", dt, want)
+			}
+			continue
+		}
+		if dt != first {
+			t.Fatalf("recharge %d took %g s, first took %g s (diff %g)",
+				i, dt, first, math.Abs(dt-first))
+		}
+		// Skew the clock far from zero to stress the invariance.
+		h.AdvanceClock(1e7)
+	}
+}
+
+// Plan exposes the same window and target energies the stepping methods
+// use, and ChargeTime mirrors ChargeUntilOn's behavior including both
+// error paths.
+func TestPlanMatchesStepping(t *testing.T) {
+	h := NewHarvester(Constant{W: 60e-6}, 100e-6, 0.5, 0.9)
+	plan, ok := h.Plan()
+	if !ok {
+		t.Fatal("Plan() not ok for constant source")
+	}
+	if plan.WindowJ != h.WindowEnergy() {
+		t.Fatalf("plan window %g != harvester window %g", plan.WindowJ, h.WindowEnergy())
+	}
+	if want := 0.5 * h.Cap.C * h.VOn * h.VOn; plan.TargetE != want {
+		t.Fatalf("plan target %g != %g", plan.TargetE, want)
+	}
+	if plan.VMax != h.VOn {
+		t.Fatalf("plan VMax %g, want defaulted VOn %g", plan.VMax, h.VOn)
+	}
+
+	// Errors mirror ChargeUntilOn: a dead source cannot charge, and a
+	// charge beyond maxWait is refused.
+	dead := NewHarvester(Constant{W: 0}, 100e-6, 0.5, 0.9)
+	deadPlan, _ := dead.Plan()
+	if _, _, err := deadPlan.ChargeTime(0, 1e9); err == nil {
+		t.Fatal("ChargeTime with W=0 did not fail")
+	}
+	if _, err := dead.ChargeUntilOn(1e9); err == nil {
+		t.Fatal("ChargeUntilOn with W=0 did not fail")
+	}
+	if _, _, err := plan.ChargeTime(0, 1e-12); err == nil {
+		t.Fatal("ChargeTime beyond maxWait did not fail")
+	}
+	if _, err := NewHarvester(Constant{W: 60e-6}, 100e-6, 0.5, 0.9).ChargeUntilOn(1e-12); err == nil {
+		t.Fatal("ChargeUntilOn beyond maxWait did not fail")
+	}
+
+	// Non-constant sources have no plan.
+	if _, ok := NewHarvester(Solar{Peak: 1e-3, Period: 20}, 100e-6, 0.5, 0.9).Plan(); ok {
+		t.Fatal("Plan() ok for solar source")
+	}
+}

@@ -280,25 +280,45 @@ func (c *Capacitor) Voltage() float64 { return c.v }
 func (c *Capacitor) SetVoltage(v float64) { c.v = v }
 
 // Energy returns the stored energy ½CV² in joules.
-func (c *Capacitor) Energy() float64 { return 0.5 * c.C * c.v * c.v }
+func (c *Capacitor) Energy() float64 { return EnergyOf(c.C, c.v) }
 
 // EnergyAbove returns the energy stored above the given floor voltage —
 // the budget usable before the system must shut down.
 func (c *Capacitor) EnergyAbove(vFloor float64) float64 {
-	if c.v <= vFloor {
-		return 0
-	}
-	return 0.5 * c.C * (c.v*c.v - vFloor*vFloor)
+	return EnergyAboveOf(c.C, c.v, vFloor)
 }
 
 // AddEnergy deposits (or, if negative, withdraws) e joules, clamping at
 // zero charge.
 func (c *Capacitor) AddEnergy(e float64) {
-	stored := c.Energy() + e
+	c.v = VoltageAfterAdd(c.C, c.v, e)
+}
+
+// EnergyOf returns the stored energy of a c-farad capacitor at v volts.
+// The Capacitor methods are defined in terms of these plain-float
+// helpers so an engine that tracks buffer state outside a Capacitor
+// (sim's analytic segment engine) rounds identically to the stepping
+// path by construction.
+func EnergyOf(c, v float64) float64 { return 0.5 * c * v * v }
+
+// EnergyAboveOf returns the energy a c-farad capacitor at v volts holds
+// above the floor voltage, zero when it sits at or below the floor.
+func EnergyAboveOf(c, v, vFloor float64) float64 {
+	if v <= vFloor {
+		return 0
+	}
+	return 0.5 * c * (v*v - vFloor*vFloor)
+}
+
+// VoltageAfterAdd returns the voltage of a c-farad capacitor at v volts
+// after depositing (or, if negative, withdrawing) e joules, clamping at
+// zero charge.
+func VoltageAfterAdd(c, v, e float64) float64 {
+	stored := EnergyOf(c, v) + e
 	if stored < 0 {
 		stored = 0
 	}
-	c.v = math.Sqrt(2 * stored / c.C)
+	return math.Sqrt(2 * stored / c)
 }
 
 // Converter is the switched-capacitor DC-DC converter that derives each

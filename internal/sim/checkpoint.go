@@ -53,6 +53,9 @@ func (r *Runner) RunWithCheckpointInterval(s OpStream, h *power.Harvester, inter
 	if active {
 		r.Obs.OutageEnd(h.Now(), off)
 	}
+	// Non-termination budget, invariant across outages (a successful
+	// charge means the harvester validated, so Cap is non-nil).
+	window := h.WindowEnergy()
 
 	// pending holds instructions executed since the last committed
 	// checkpoint; an outage re-performs all of them.
@@ -93,7 +96,6 @@ func (r *Runner) RunWithCheckpointInterval(s OpStream, h *power.Harvester, inter
 				})
 			}
 
-			window := 0.5 * h.Cap.C * (h.VOn*h.VOn - h.VOff*h.VOff)
 			if e > window+h.Src.Power(h.Now())*dt {
 				return fmt.Errorf("%w (instruction needs %.3g J, window holds %.3g J)", ErrNonTermination, e, window)
 			}

@@ -227,6 +227,7 @@ func (r *MachineRunner) Run(h *power.Harvester) (Result, error) {
 		return now
 	}
 
+	var window float64 // non-termination budget, invariant across outages
 	if h != nil {
 		if active {
 			r.Obs.OutageBegin(h.Now())
@@ -239,6 +240,9 @@ func (r *MachineRunner) Run(h *power.Harvester) (Result, error) {
 		if active {
 			r.Obs.OutageEnd(h.Now(), off)
 		}
+		// A successful charge means the harvester validated, so Cap is
+		// non-nil.
+		window = h.WindowEnergy()
 	}
 
 	retry := false
@@ -308,7 +312,6 @@ func (r *MachineRunner) Run(h *power.Harvester) (Result, error) {
 			})
 		}
 
-		window := 0.5 * h.Cap.C * (h.VOn*h.VOn - h.VOff*h.VOff)
 		if e > window+h.Src.Power(h.Now())*dt {
 			return Result{Breakdown: b, Replays: replays}, fmt.Errorf("%w (instruction needs %.3g J, window holds %.3g J)", ErrNonTermination, e, window)
 		}
@@ -404,4 +407,23 @@ func (s *programStream) Next() (energy.Op, bool) {
 		s.pairs = actCols
 	}
 	return energy.OpOf(in, s.pairs, actCols), true
+}
+
+// Runs implements RunStream by replaying a fresh clone of the stream —
+// the activation tracking makes the op sequence stateful, so the
+// encoding is derived from the same Next() the stepping path would see.
+func (s *programStream) Runs() []energy.OpRun {
+	clone := &programStream{p: s.p, nTiles: s.nTiles}
+	var runs []energy.OpRun
+	for {
+		op, ok := clone.Next()
+		if !ok {
+			return runs
+		}
+		if n := len(runs); n > 0 && runs[n-1].Op == op {
+			runs[n-1].Count++
+			continue
+		}
+		runs = append(runs, energy.OpRun{Op: op, Count: 1})
+	}
 }

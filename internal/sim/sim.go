@@ -43,6 +43,18 @@ type OpStream interface {
 	Reset()
 }
 
+// RunStream is an OpStream that can also describe itself as a
+// run-length encoding. Streams that implement it are eligible for the
+// analytic segment engine (segment.go), which prices the runs once and
+// retires whole outage-to-outage windows in bulk instead of stepping
+// Next() per instruction. Runs() must enumerate exactly the operations
+// Next() would yield from a fresh stream, in order; a run-driven
+// execution leaves the stream rewound rather than exhausted.
+type RunStream interface {
+	OpStream
+	Runs() []energy.OpRun
+}
+
 // SliceStream is an OpStream over a materialized operation slice.
 type SliceStream struct {
 	Ops []energy.Op
@@ -61,6 +73,19 @@ func (s *SliceStream) Next() (energy.Op, bool) {
 
 // Reset rewinds the stream.
 func (s *SliceStream) Reset() { s.pos = 0 }
+
+// Runs returns the slice's run-length encoding (RunStream).
+func (s *SliceStream) Runs() []energy.OpRun {
+	var runs []energy.OpRun
+	for _, op := range s.Ops {
+		if n := len(runs); n > 0 && runs[n-1].Op == op {
+			runs[n-1].Count++
+			continue
+		}
+		runs = append(runs, energy.OpRun{Op: op, Count: 1})
+	}
+	return runs
+}
 
 // ErrNonTermination reports that a single instruction needs more energy
 // than one full buffer discharge plus concurrent harvest can supply, so
@@ -85,6 +110,12 @@ type Runner struct {
 	// emission at the cost of one branch per instruction; observers must
 	// never influence accounting.
 	Obs probe.Observer
+
+	// ForceStepping pins Run to the per-instruction stepping path even
+	// when the stream and harvester qualify for the analytic segment
+	// engine — the counterpart of array.Machine.ForceScalar, used by
+	// differential tests and A/B benchmarks.
+	ForceStepping bool
 }
 
 // NewRunner returns a runner over the given model.
@@ -140,7 +171,20 @@ func (r *Runner) RunContinuous(s OpStream) Result {
 // shutdown/restore/re-execute protocol on every outage. The stream's
 // activation state is tracked so Restore is priced by the number of
 // columns that must be re-latched.
+//
+// When the stream can describe itself as runs (RunStream), the source
+// is constant, and no observer or voltage sampling is attached, Run
+// dispatches to the analytic segment engine (segment.go), which
+// produces a bit-identical Result without stepping the harvester.
+// Trace/solar sources, attached observers, and ForceStepping keep the
+// per-instruction path.
 func (r *Runner) Run(s OpStream, h *power.Harvester) (res Result, err error) {
+	if rs, ok := s.(RunStream); ok && !r.ForceStepping && h != nil &&
+		!probe.Enabled(r.Obs) && !h.SamplingEnabled() {
+		if plan, ok := h.Plan(); ok {
+			return r.runSegments(rs, h, plan)
+		}
+	}
 	// A stream left mid-position by a previous failed run (for example
 	// after ErrNonTermination) must not silently execute only a suffix
 	// on reuse: every run starts from the beginning, and a failed run
@@ -151,9 +195,22 @@ func (r *Runner) Run(s OpStream, h *power.Harvester) (res Result, err error) {
 			s.Reset()
 		}
 	}()
-	var b energy.Breakdown
+	// Accounting is window-local: each outage-to-outage window folds
+	// into acc and flushes into b when the window closes (restore
+	// complete, error, or stream end). The per-window sums are therefore
+	// independent of where in the run the window sits — the property the
+	// segment engine's window cache relies on for bit-exact replay.
+	var b, acc energy.Breakdown
+	flush := func() {
+		b.Add(acc)
+		acc = energy.Breakdown{}
+	}
 	var replays uint64
 	dt := r.Model.CycleTime()
+	window := 0.0 // non-termination budget, invariant across outages
+	if h.Cap != nil {
+		window = h.WindowEnergy()
+	}
 	lastLevel := 0
 	activeCols := 0 // columns the most recent ACT latched
 	active := probe.Enabled(r.Obs)
@@ -176,7 +233,11 @@ func (r *Runner) Run(s OpStream, h *power.Harvester) (res Result, err error) {
 		if !ok {
 			break
 		}
-		e := r.Model.Energy(op) + r.Model.Backup(op)
+		// Price the instruction once per attempt loop; the stepping path
+		// previously recomputed Energy/Backup up to three times per
+		// retired instruction.
+		ec, bk := r.Model.Energy(op), r.Model.Backup(op)
+		e := ec + bk
 		// Attempt until the instruction commits. Per the paper's EH-model
 		// accounting, the re-execution of an interrupted instruction is
 		// Dead energy ("repeating the last instruction on restart"), as
@@ -186,20 +247,20 @@ func (r *Runner) Run(s OpStream, h *power.Harvester) (res Result, err error) {
 			frac := h.Draw(dt, e)
 			if frac >= 1 {
 				if retry {
-					b.DeadEnergy += r.Model.Energy(op)
-					b.DeadLatency += dt
+					acc.DeadEnergy += ec
+					acc.DeadLatency += dt
 					replays++
 				} else {
-					b.ComputeEnergy += r.Model.Energy(op)
+					acc.ComputeEnergy += ec
 				}
-				b.BackupEnergy += r.Model.Backup(op)
-				b.OnLatency += dt
-				b.Instructions++
+				acc.BackupEnergy += bk
+				acc.OnLatency += dt
+				acc.Instructions++
 				if active {
 					r.Obs.InstrRetired(probe.Instr{
 						T: h.Now(), Dur: dt, Kind: op.Kind, Gate: op.Gate,
 						Tile:   -1,
-						Energy: r.Model.Energy(op), Backup: r.Model.Backup(op),
+						Energy: ec, Backup: bk,
 						Replay: retry,
 					})
 				}
@@ -207,10 +268,10 @@ func (r *Runner) Run(s OpStream, h *power.Harvester) (res Result, err error) {
 			}
 			retry = true
 			// Outage mid-instruction: the partial work is Dead.
-			b.DeadEnergy += e * frac
-			b.DeadLatency += dt * frac
-			b.OnLatency += dt * frac
-			b.Restarts++
+			acc.DeadEnergy += e * frac
+			acc.DeadLatency += dt * frac
+			acc.OnLatency += dt * frac
+			acc.Restarts++
 			if active {
 				r.Obs.PulseInterrupted(probe.Interrupt{
 					T: h.Now(), Frac: frac, Kind: op.Kind, Lost: e * frac,
@@ -219,8 +280,8 @@ func (r *Runner) Run(s OpStream, h *power.Harvester) (res Result, err error) {
 
 			// Detect non-termination: even a full window plus one
 			// cycle's harvest cannot pay for this instruction.
-			window := 0.5 * h.Cap.C * (h.VOn*h.VOn - h.VOff*h.VOff)
 			if e > window+h.Src.Power(h.Now())*dt {
+				flush()
 				return Result{Breakdown: b, Replays: replays}, fmt.Errorf("%w (instruction needs %.3g J, window holds %.3g J)", ErrNonTermination, e, window)
 			}
 
@@ -230,24 +291,29 @@ func (r *Runner) Run(s OpStream, h *power.Harvester) (res Result, err error) {
 			}
 			off, err := h.ChargeUntilOn(r.MaxChargeWait)
 			if err != nil {
+				flush()
 				return Result{Breakdown: b, Replays: replays}, err
 			}
-			b.OffLatency += off
+			acc.OffLatency += off
 			if active {
 				r.Obs.OutageEnd(h.Now(), off)
 			}
-			if err := r.restore(h, activeCols, dt, &b); err != nil {
+			if err := r.restore(h, activeCols, dt, &acc); err != nil {
+				flush()
 				return Result{Breakdown: b, Replays: replays}, err
 			}
+			// Restore complete: the window closes here.
+			flush()
 		}
 		if op.Kind == isa.KindAct {
 			activeCols = op.ActCols
 		}
 		if lv := r.Model.Level(op); lv >= 0 && lv != lastLevel {
-			b.LevelSwitches++
+			acc.LevelSwitches++
 			lastLevel = lv
 		}
 	}
+	flush()
 	return Result{Breakdown: b, Replays: replays, Completed: true}, nil
 }
 

@@ -272,6 +272,20 @@ func (p *phaseStream) Next() (energy.Op, bool) {
 	return energy.Op{}, false
 }
 
+// Runs implements sim.RunStream: the phase list already is the stream's
+// run-length encoding, which makes every workload eligible for the
+// analytic segment engine under constant power.
+func (p *phaseStream) Runs() []energy.OpRun {
+	runs := make([]energy.OpRun, 0, len(p.phases))
+	for _, ph := range p.phases {
+		if ph.Count <= 0 {
+			continue
+		}
+		runs = append(runs, energy.OpRun{Op: ph.Op, Count: ph.Count})
+	}
+	return runs
+}
+
 // --- per-benchmark phase construction -----------------------------------
 
 // logic and preset op constructors.
