@@ -5,8 +5,8 @@
 //
 //	mousebench [-experiment all|table1|table2|table3|table4|fig9|fig10|fig11|fig12|
 //	            crossover|robustness|checkpoint|parallelism|fft|batch|segment]
-//	           [-batch N] [-parallel N] [-json] [-telemetry] [-out FILE]
-//	           [-cpuprofile FILE] [-memprofile FILE]
+//	           [-batch N] [-parallel N] [-json] [-telemetry] [-progress]
+//	           [-out FILE] [-cpuprofile FILE] [-memprofile FILE]
 //
 // Each experiment prints the same rows or series the paper reports; see
 // EXPERIMENTS.md for the paper-vs-measured comparison. Grid-shaped
@@ -21,6 +21,11 @@
 // the selected experiments run: with -json the report gains the
 // optional "telemetry" section (replays, outage durations, energy by
 // phase); in table mode a summary block is appended after the tables.
+//
+// -progress reports each experiment's start and finish (with row count
+// and wall time) live on stderr while the run executes, leaving stdout
+// bytes untouched — useful when `-experiment all` takes a while and the
+// tables only appear at the end.
 //
 // -batch N runs only the batch-inference throughput experiment with N
 // bit-slice lanes (1–64): every hot workload is replayed through the
@@ -52,6 +57,7 @@ func main() {
 	parallel := flag.Int("parallel", 0, "sweep worker bound; 0 means one per CPU")
 	asJSON := flag.Bool("json", false, "emit a machine-readable report instead of tables")
 	telemetry := flag.Bool("telemetry", false, "collect run telemetry (replays, outages, energy by phase)")
+	progress := flag.Bool("progress", false, "report per-experiment start/finish lines live on stderr")
 	outPath := flag.String("out", "", "write output to this file instead of stdout")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile taken after the run to this file")
@@ -72,11 +78,15 @@ func main() {
 		fmt.Fprintln(os.Stderr, "mousebench:", err)
 		os.Exit(1)
 	}
+	progressTo := io.Writer(nil)
+	if *progress {
+		progressTo = os.Stderr
+	}
 	var runErr error
 	if *batchLanes != 0 {
 		runErr = bench.RunBatch(out, *batchLanes, *parallel, *asJSON)
 	} else {
-		runErr = runExperiments(*experiment, out, *parallel, *asJSON, *telemetry)
+		runErr = runExperiments(*experiment, out, progressTo, *parallel, *asJSON, *telemetry)
 	}
 	if err := stop(); err != nil {
 		fmt.Fprintln(os.Stderr, "mousebench:", err)
@@ -128,15 +138,21 @@ func startProfiles(cpuPath, memPath string) (func() error, error) {
 // runExperiments executes the selected experiment (or all of them) with
 // the given sweep-worker bound, writing tables — or, with asJSON, the
 // structured report — to out. telemetry attaches a shared probe.Stats
-// to every simulation and reports its totals.
-func runExperiments(experiment string, out io.Writer, workers int, asJSON, telemetry bool) error {
+// to every simulation and reports its totals. A non-nil progressTo
+// receives one live line per experiment start/finish (the -progress
+// stderr feed); it never receives table or report bytes.
+func runExperiments(experiment string, out, progressTo io.Writer, workers int, asJSON, telemetry bool) error {
+	var prog bench.Progress
+	if progressTo != nil {
+		prog = bench.NewProgressWriter(progressTo)
+	}
 	if asJSON {
 		var rep *bench.Report
 		var err error
 		if telemetry {
-			rep, err = bench.BuildTelemetryReport(experiment, workers)
+			rep, err = bench.BuildTelemetryReportProgress(experiment, workers, prog)
 		} else {
-			rep, err = bench.BuildReport(experiment, workers)
+			rep, err = bench.BuildReportProgress(experiment, workers, prog)
 		}
 		if err != nil {
 			return err
@@ -145,12 +161,12 @@ func runExperiments(experiment string, out io.Writer, workers int, asJSON, telem
 	}
 	if telemetry {
 		stats := &probe.Stats{}
-		if err := bench.RunPrinted(out, experiment, workers, stats); err != nil {
+		if err := bench.RunPrintedProgress(out, experiment, workers, prog, stats); err != nil {
 			return err
 		}
 		fmt.Fprintln(out)
 		fmt.Fprintln(out, "Telemetry — totals across every simulation above")
 		return stats.Section().WriteSummary(out)
 	}
-	return bench.RunPrinted(out, experiment, workers)
+	return bench.RunPrintedProgress(out, experiment, workers, prog)
 }

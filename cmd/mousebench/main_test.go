@@ -25,7 +25,7 @@ func TestRunSingleExperiments(t *testing.T) {
 	}
 	for exp, want := range cases {
 		var out bytes.Buffer
-		if err := runExperiments(exp, &out, 1, false, false); err != nil {
+		if err := runExperiments(exp, &out, nil, 1, false, false); err != nil {
 			t.Fatalf("%s: %v", exp, err)
 		}
 		if !strings.Contains(out.String(), want) {
@@ -36,10 +36,10 @@ func TestRunSingleExperiments(t *testing.T) {
 
 func TestRunUnknownExperiment(t *testing.T) {
 	var out bytes.Buffer
-	if err := runExperiments("frobnicate", &out, 1, false, false); err == nil {
+	if err := runExperiments("frobnicate", &out, nil, 1, false, false); err == nil {
 		t.Fatalf("unknown experiment accepted")
 	}
-	if err := runExperiments("frobnicate", &out, 1, true, false); err == nil {
+	if err := runExperiments("frobnicate", &out, nil, 1, true, false); err == nil {
 		t.Fatalf("unknown experiment accepted in JSON mode")
 	}
 }
@@ -50,7 +50,7 @@ func TestRunUnknownExperiment(t *testing.T) {
 // exactly one blank line.
 func TestOutputIsExactlyTheSelectedExperiment(t *testing.T) {
 	var single bytes.Buffer
-	if err := runExperiments("table2", &single, 1, false, false); err != nil {
+	if err := runExperiments("table2", &single, nil, 1, false, false); err != nil {
 		t.Fatal(err)
 	}
 	out := single.String()
@@ -68,7 +68,7 @@ func TestOutputIsExactlyTheSelectedExperiment(t *testing.T) {
 		if i > 0 {
 			stitched.WriteString("\n")
 		}
-		if err := runExperiments(exp, &stitched, 1, false, false); err != nil {
+		if err := runExperiments(exp, &stitched, nil, 1, false, false); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -83,7 +83,7 @@ func TestOutputIsExactlyTheSelectedExperiment(t *testing.T) {
 func TestDeterministicTables(t *testing.T) {
 	render := func(workers int) string {
 		var out bytes.Buffer
-		if err := runExperiments("all", &out, workers, false, false); err != nil {
+		if err := runExperiments("all", &out, nil, workers, false, false); err != nil {
 			t.Fatal(err)
 		}
 		return out.String()
@@ -128,10 +128,62 @@ func TestDeterministicJSONReports(t *testing.T) {
 	}
 }
 
+// TestProgressLeavesStdoutIdentical pins the -progress contract: the
+// live feed goes only to its own writer, and stdout bytes are identical
+// with progress on or off, in both table and JSON mode.
+func TestProgressLeavesStdoutIdentical(t *testing.T) {
+	for _, asJSON := range []bool{false, true} {
+		var plain, withProg, feed bytes.Buffer
+		if err := runExperiments("table2", &plain, nil, 1, asJSON, false); err != nil {
+			t.Fatal(err)
+		}
+		if err := runExperiments("table2", &withProg, &feed, 1, asJSON, false); err != nil {
+			t.Fatal(err)
+		}
+		if asJSON {
+			// Report wall-clock stamps differ run to run; compare normalized.
+			norm := func(b []byte) *bench.Report {
+				var rep bench.Report
+				if err := json.Unmarshal(b, &rep); err != nil {
+					t.Fatal(err)
+				}
+				rep.Normalize()
+				return &rep
+			}
+			if !reflect.DeepEqual(norm(plain.Bytes()), norm(withProg.Bytes())) {
+				t.Errorf("json=%v: -progress changed the normalized report", asJSON)
+			}
+		} else if !bytes.Equal(plain.Bytes(), withProg.Bytes()) {
+			t.Errorf("json=%v: -progress changed stdout bytes", asJSON)
+		}
+		got := feed.String()
+		if !strings.Contains(got, "mousebench: [1/1] table2 ...") ||
+			!strings.Contains(got, "mousebench: [1/1] table2 done") {
+			t.Errorf("json=%v: progress feed missing lifecycle lines:\n%s", asJSON, got)
+		}
+	}
+}
+
+// TestReportCarriesRunMeta checks the optional meta section: stamped by
+// report builds, stripped by Normalize.
+func TestReportCarriesRunMeta(t *testing.T) {
+	rep, err := bench.BuildReport("table2", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Meta == nil || rep.Meta.GoVersion == "" || rep.Meta.GOMAXPROCS < 1 {
+		t.Fatalf("meta not stamped: %+v", rep.Meta)
+	}
+	rep.Normalize()
+	if rep.Meta != nil {
+		t.Errorf("Normalize left the meta section")
+	}
+}
+
 // TestJSONModeEmitsValidReport exercises the -json path end to end.
 func TestJSONModeEmitsValidReport(t *testing.T) {
 	var out bytes.Buffer
-	if err := runExperiments("table3", &out, 2, true, false); err != nil {
+	if err := runExperiments("table3", &out, nil, 2, true, false); err != nil {
 		t.Fatal(err)
 	}
 	var rep bench.Report

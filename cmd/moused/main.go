@@ -1,0 +1,134 @@
+// moused is the repo's long-running observability endpoint: it executes
+// a configurable stream of mousebench experiments on simulated devices
+// and serves live telemetry about them over HTTP.
+//
+// Endpoints:
+//
+//	/metrics        Prometheus text exposition (version 0.0.4): the
+//	                merged fleet view of every device's probe telemetry
+//	                under mouse_probe_*, plus moused_* run/job metrics
+//	                and per-device voltage and instruction families
+//	/healthz        liveness probe, always "ok" while serving
+//	/runs           recent experiment runs as indented JSON
+//	/debug/pprof/   standard Go profiling handlers
+//
+// Usage:
+//
+//	moused [-addr HOST:PORT] [-addr-file FILE] [-experiments CSV]
+//	       [-devices N] [-parallel N] [-repeat N] [-interval DUR]
+//
+// -addr defaults to 127.0.0.1:0 (an OS-assigned port); the bound
+// address is printed on stdout and, with -addr-file, written to a file
+// so scripts can discover it race-free. -experiments names the job
+// stream (mousebench registry names, default "table2,table3,checkpoint"
+// — the checkpoint sweep actually simulates, so the probe families are
+// live out of the box);
+// -devices spreads jobs round-robin over N independent telemetry
+// shards; -repeat bounds the passes over the stream (0 = run until
+// terminated) and -interval paces consecutive jobs. The server keeps
+// serving after a finite stream completes; SIGINT/SIGTERM shut it down.
+//
+// See EXPERIMENTS.md for a scrape walkthrough with curl.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"mouse/internal/bench"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:0", "listen address (port 0 = OS-assigned)")
+	addrFile := flag.String("addr-file", "", "write the bound address to this file once listening")
+	experiments := flag.String("experiments", "table2,table3,checkpoint", "comma-separated experiment job stream")
+	devices := flag.Int("devices", 1, "simulated devices to spread jobs over")
+	parallel := flag.Int("parallel", 0, "sweep worker bound per job; 0 means one per CPU")
+	repeat := flag.Int("repeat", 1, "passes over the experiment stream (0 = repeat until terminated)")
+	interval := flag.Duration("interval", 0, "pause between consecutive jobs")
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := serve(ctx, *addr, *addrFile, *experiments, *devices, *parallel, *repeat, *interval); err != nil {
+		fmt.Fprintln(os.Stderr, "moused:", err)
+		os.Exit(1)
+	}
+}
+
+// parseExperiments splits and validates the -experiments list against
+// the mousebench registry ("all" is accepted as the full suite).
+func parseExperiments(csv string) ([]string, error) {
+	known := map[string]bool{"all": true}
+	for _, e := range bench.Experiments() {
+		known[e.Name] = true
+	}
+	var names []string
+	for _, name := range strings.Split(csv, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		if !known[name] {
+			return nil, fmt.Errorf("unknown experiment %q", name)
+		}
+		names = append(names, name)
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("empty experiment list")
+	}
+	return names, nil
+}
+
+// serve binds the listener, starts the job stream, and blocks until
+// ctx is cancelled (or the listener fails).
+func serve(ctx context.Context, addr, addrFile, experiments string, devices, parallel, repeat int, interval time.Duration) error {
+	names, err := parseExperiments(experiments)
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	bound := ln.Addr().String()
+	fmt.Printf("moused: listening on http://%s\n", bound)
+	if addrFile != "" {
+		if err := os.WriteFile(addrFile, []byte(bound+"\n"), 0o644); err != nil {
+			ln.Close()
+			return err
+		}
+	}
+
+	s := newServer(devices, parallel)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		s.runStream(ctx, names, repeat, interval)
+	}()
+
+	httpSrv := &http.Server{Handler: s.handler()}
+	go func() {
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		httpSrv.Shutdown(shutdownCtx)
+	}()
+	err = httpSrv.Serve(ln)
+	wg.Wait()
+	if err == http.ErrServerClosed {
+		return nil
+	}
+	return err
+}

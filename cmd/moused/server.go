@@ -1,0 +1,237 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"sync"
+	"time"
+
+	"mouse/internal/bench"
+	"mouse/internal/metrics"
+	"mouse/internal/probe"
+)
+
+// maxRecentRuns bounds the /runs history ring.
+const maxRecentRuns = 64
+
+// testHookAfterExperiment, when non-nil, runs after each job finishes
+// (before any -interval pause). Tests use it to scrape mid-stream at a
+// deterministic point instead of polling on wall clock.
+var testHookAfterExperiment func(seq int)
+
+// server is moused's state: one probe.Stats shard per simulated device
+// fed by the job stream, a metrics registry that aggregates them at
+// scrape time, and a bounded history of recent runs for /runs.
+//
+// The shards are the same lock-free probe.Stats the simulators already
+// feed, so serving /metrics adds nothing to simulation hot paths: all
+// merging happens per scrape via Stats.Merge into a fresh accumulator.
+type server struct {
+	reg     *metrics.Registry
+	devices []*probe.Stats
+	workers int
+
+	started    *metrics.Counter
+	completed  *metrics.Counter
+	failed     *metrics.Counter
+	active     *metrics.Gauge
+	runSeconds *metrics.Histogram
+
+	mu     sync.Mutex
+	runs   []runStatus // most recent first, capped at maxRecentRuns
+	nextID int
+}
+
+// runStatus is one entry of the /runs JSON feed.
+type runStatus struct {
+	Seq         int     `json:"seq"`
+	Name        string  `json:"name"`
+	Device      int     `json:"device"`
+	State       string  `json:"state"` // running, done, failed
+	Rows        int     `json:"rows,omitempty"`
+	WallSeconds float64 `json:"wall_seconds,omitempty"`
+	Error       string  `json:"error,omitempty"`
+}
+
+// runsPage is the /runs response document.
+type runsPage struct {
+	Started   float64     `json:"started"`
+	Completed float64     `json:"completed"`
+	Failed    float64     `json:"failed"`
+	Active    float64     `json:"active"`
+	Runs      []runStatus `json:"runs"`
+}
+
+func newServer(devices, workers int) *server {
+	if devices < 1 {
+		devices = 1
+	}
+	s := &server{
+		reg:     metrics.New(),
+		devices: make([]*probe.Stats, devices),
+		workers: workers,
+	}
+	for i := range s.devices {
+		s.devices[i] = &probe.Stats{}
+	}
+
+	s.started = s.reg.NewCounter("moused_runs_started_total", "Experiment runs the job stream has started.")
+	s.completed = s.reg.NewCounter("moused_runs_completed_total", "Experiment runs that finished successfully.")
+	s.failed = s.reg.NewCounter("moused_runs_failed_total", "Experiment runs that returned an error.")
+	s.active = s.reg.NewGauge("moused_runs_active", "Experiment runs currently executing.")
+	s.runSeconds = s.reg.NewHistogram("moused_run_seconds", "Host wall-clock duration of completed experiment runs.",
+		metrics.LogBuckets(1e-3, 8))
+	s.reg.Collect("moused_devices", "gauge", "Simulated devices this instance aggregates.",
+		func() []metrics.Sample { return []metrics.Sample{{Value: float64(len(s.devices))}} })
+
+	// The fleet view: every probe family under mouse_probe_* reads one
+	// merged snapshot of all device shards, taken once per scrape.
+	metrics.ExportStats(s.reg, "mouse_probe", s.fleetSection)
+
+	// Per-device families for the gauges that only make sense unmerged.
+	s.reg.Collect("moused_device_voltage_volts", "gauge",
+		"Capacitor voltage extremes per device (absent until a device reports voltage samples).",
+		func() []metrics.Sample {
+			var out []metrics.Sample
+			for i, d := range s.devices {
+				sec := d.Section()
+				if sec.VoltageSamples == 0 {
+					continue
+				}
+				dev := strconv.Itoa(i)
+				out = append(out,
+					metrics.Sample{Labels: []metrics.Label{{Name: "device", Value: dev}, {Name: "bound", Value: "max"}}, Value: sec.VoltageMax},
+					metrics.Sample{Labels: []metrics.Label{{Name: "device", Value: dev}, {Name: "bound", Value: "min"}}, Value: sec.VoltageMin})
+			}
+			return out
+		})
+	s.reg.Collect("moused_device_instructions_total", "counter",
+		"Committed instruction cycles per device.",
+		func() []metrics.Sample {
+			out := make([]metrics.Sample, 0, len(s.devices))
+			for i, d := range s.devices {
+				out = append(out, metrics.Sample{
+					Labels: []metrics.Label{{Name: "device", Value: strconv.Itoa(i)}},
+					Value:  float64(d.Section().Instructions)})
+			}
+			return out
+		})
+	return s
+}
+
+// fleetSection merges every device shard into a fresh accumulator and
+// snapshots it — the same Section a post-run report would serialize, so
+// a scrape and a report read identical numbers by construction.
+func (s *server) fleetSection() *probe.Section {
+	agg := &probe.Stats{}
+	for _, d := range s.devices {
+		agg.Merge(d)
+	}
+	return agg.Section()
+}
+
+// handler serves moused's HTTP surface: Prometheus exposition on
+// /metrics, liveness on /healthz, the recent-run JSON feed on /runs,
+// and the standard pprof handlers under /debug/pprof/.
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", s.reg.Handler())
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/runs", s.serveRuns)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+func (s *server) serveRuns(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	page := runsPage{
+		Started:   s.started.Value(),
+		Completed: s.completed.Value(),
+		Failed:    s.failed.Value(),
+		Active:    s.active.Value(),
+		Runs:      append([]runStatus{}, s.runs...),
+	}
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(page)
+}
+
+// record inserts or updates the run history entry for seq.
+func (s *server) record(st runStatus) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range s.runs {
+		if s.runs[i].Seq == st.Seq {
+			s.runs[i] = st
+			return
+		}
+	}
+	s.runs = append([]runStatus{st}, s.runs...)
+	if len(s.runs) > maxRecentRuns {
+		s.runs = s.runs[:maxRecentRuns]
+	}
+}
+
+// runOne executes one experiment against one device shard, updating the
+// run metrics and the /runs history around the call.
+func (s *server) runOne(name string, device, seq int) {
+	s.started.Inc()
+	s.active.Add(1)
+	s.record(runStatus{Seq: seq, Name: name, Device: device, State: "running"})
+	start := time.Now()
+	rep, err := bench.BuildReport(name, s.workers, s.devices[device])
+	wall := time.Since(start)
+	s.active.Add(-1)
+	s.runSeconds.Observe(wall.Seconds())
+	st := runStatus{Seq: seq, Name: name, Device: device, WallSeconds: wall.Seconds()}
+	if err != nil {
+		s.failed.Inc()
+		st.State = "failed"
+		st.Error = err.Error()
+	} else {
+		s.completed.Inc()
+		st.State = "done"
+		st.Rows = bench.RowCount(rep.Experiments[0].Rows)
+	}
+	s.record(st)
+}
+
+// runStream executes the experiment list round-robin across devices:
+// job seq runs experiment seq mod len(experiments) on device seq mod
+// len(devices). repeat bounds the passes over the list (0 = run until
+// ctx is cancelled); interval inserts a pause between jobs.
+func (s *server) runStream(ctx context.Context, experiments []string, repeat int, interval time.Duration) {
+	seq := 0
+	for pass := 0; repeat == 0 || pass < repeat; pass++ {
+		for _, name := range experiments {
+			if ctx.Err() != nil {
+				return
+			}
+			s.runOne(name, seq%len(s.devices), seq)
+			seq++
+			if testHookAfterExperiment != nil {
+				testHookAfterExperiment(seq)
+			}
+			if interval > 0 {
+				select {
+				case <-ctx.Done():
+					return
+				case <-time.After(interval):
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,263 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"mouse/internal/metrics"
+)
+
+// streamOnce runs the given experiment stream to completion on srv.
+func streamOnce(s *server, experiments ...string) {
+	s.runStream(context.Background(), experiments, 1, 0)
+}
+
+// scrape fetches path from the test server and returns the body.
+func scrape(t *testing.T, ts *httptest.Server, path string) []byte {
+	t.Helper()
+	resp, err := ts.Client().Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %s", path, resp.Status)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body
+}
+
+// TestMetricsMatchFleetSection is the acceptance differential test:
+// after a finished job stream, every mouse_probe_* series served on
+// /metrics must equal the corresponding field of the merged fleet
+// Section exactly, and the whole document must pass the linter.
+func TestMetricsMatchFleetSection(t *testing.T) {
+	s := newServer(2, 1)
+	streamOnce(s, "checkpoint", "fft")
+
+	ts := httptest.NewServer(s.handler())
+	defer ts.Close()
+	body := scrape(t, ts, "/metrics")
+	if err := metrics.Lint(strings.NewReader(string(body))); err != nil {
+		t.Fatalf("/metrics fails lint: %v\n%s", err, body)
+	}
+	vals, err := metrics.Values(strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sec := s.fleetSection()
+	if sec.Instructions == 0 || sec.Outages == 0 {
+		t.Fatalf("job stream produced no telemetry: %+v", sec)
+	}
+	want := map[string]float64{
+		"mouse_probe_instructions_total":                   float64(sec.Instructions),
+		"mouse_probe_replays_total":                        float64(sec.Replays),
+		"mouse_probe_interrupts_total":                     float64(sec.Interrupts),
+		"mouse_probe_outages_total":                        float64(sec.Outages),
+		"mouse_probe_restores_total":                       float64(sec.Restores),
+		`mouse_probe_energy_joules_total{phase="compute"}`: sec.Energy.Compute,
+		`mouse_probe_energy_joules_total{phase="backup"}`:  sec.Energy.Backup,
+		`mouse_probe_energy_joules_total{phase="restore"}`: sec.Energy.Restore,
+		"mouse_probe_busy_seconds_total":                   sec.BusySeconds,
+		"mouse_probe_outage_seconds_total":                 sec.OutageSeconds,
+		"mouse_probe_outage_duration_seconds_count":        float64(sec.Outages),
+		"mouse_probe_outage_duration_seconds_sum":          sec.OutageSeconds,
+		"moused_runs_started_total":                        2,
+		"moused_runs_completed_total":                      2,
+		"moused_runs_failed_total":                         0,
+		"moused_runs_active":                               0,
+		"moused_devices":                                   2,
+		"moused_run_seconds_count":                         2,
+	}
+	for key, v := range want {
+		got, ok := vals[key]
+		if !ok {
+			t.Errorf("missing series %s", key)
+			continue
+		}
+		if got != v {
+			t.Errorf("%s = %g, want %g", key, got, v)
+		}
+	}
+
+	// Devices must have split the work: both shards saw instructions,
+	// and the per-device series sum to the fleet total.
+	d0 := vals[`moused_device_instructions_total{device="0"}`]
+	d1 := vals[`moused_device_instructions_total{device="1"}`]
+	if d0 == 0 || d1 == 0 {
+		t.Errorf("round-robin left a device idle: dev0=%g dev1=%g", d0, d1)
+	}
+	if d0+d1 != float64(sec.Instructions) {
+		t.Errorf("device instruction split %g+%g != fleet %d", d0, d1, sec.Instructions)
+	}
+}
+
+// TestScrapeMidStream scrapes /metrics at a deterministic point inside
+// the job stream (after the first job, via the test hook) and checks
+// the exposition is already valid and counting.
+func TestScrapeMidStream(t *testing.T) {
+	s := newServer(1, 1)
+	ts := httptest.NewServer(s.handler())
+	defer ts.Close()
+
+	var mid []byte
+	testHookAfterExperiment = func(seq int) {
+		if seq == 1 {
+			mid = scrape(t, ts, "/metrics")
+		}
+	}
+	defer func() { testHookAfterExperiment = nil }()
+
+	streamOnce(s, "table2", "checkpoint")
+	if mid == nil {
+		t.Fatal("mid-stream hook never fired")
+	}
+	if err := metrics.Lint(strings.NewReader(string(mid))); err != nil {
+		t.Fatalf("mid-stream /metrics fails lint: %v\n%s", err, mid)
+	}
+	vals, err := metrics.Values(strings.NewReader(string(mid)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vals["moused_runs_started_total"] != 1 || vals["moused_runs_completed_total"] != 1 {
+		t.Errorf("mid-stream run counters: started %g, completed %g",
+			vals["moused_runs_started_total"], vals["moused_runs_completed_total"])
+	}
+}
+
+func TestHealthzRunsAndPprof(t *testing.T) {
+	s := newServer(1, 1)
+	streamOnce(s, "table2")
+	ts := httptest.NewServer(s.handler())
+	defer ts.Close()
+
+	if got := string(scrape(t, ts, "/healthz")); got != "ok\n" {
+		t.Errorf("/healthz = %q", got)
+	}
+
+	var page runsPage
+	if err := json.Unmarshal(scrape(t, ts, "/runs"), &page); err != nil {
+		t.Fatalf("/runs is not valid JSON: %v", err)
+	}
+	if page.Started != 1 || page.Completed != 1 || len(page.Runs) != 1 {
+		t.Fatalf("/runs page: %+v", page)
+	}
+	r := page.Runs[0]
+	if r.Name != "table2" || r.State != "done" || r.Rows <= 0 {
+		t.Errorf("run record: %+v", r)
+	}
+
+	for _, path := range []string{"/debug/pprof/", "/debug/pprof/cmdline"} {
+		scrape(t, ts, path) // fails the test on non-200
+	}
+}
+
+func TestRunsHistoryTracksFailures(t *testing.T) {
+	s := newServer(1, 1)
+	s.runOne("not-an-experiment", 0, 0)
+	if s.failed.Value() != 1 || s.completed.Value() != 0 {
+		t.Fatalf("failed %g completed %g", s.failed.Value(), s.completed.Value())
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.runs) != 1 || s.runs[0].State != "failed" || s.runs[0].Error == "" {
+		t.Errorf("history: %+v", s.runs)
+	}
+}
+
+func TestParseExperiments(t *testing.T) {
+	names, err := parseExperiments(" table2, checkpoint ,fft")
+	if err != nil || len(names) != 3 || names[0] != "table2" {
+		t.Errorf("parseExperiments: %v, %v", names, err)
+	}
+	if _, err := parseExperiments("table2,frobnicate"); err == nil {
+		t.Errorf("unknown experiment accepted")
+	}
+	if _, err := parseExperiments(" , "); err == nil {
+		t.Errorf("empty list accepted")
+	}
+}
+
+// TestServeWritesAddrFileAndShutsDown drives serve end to end: bind an
+// OS-assigned port, discover it through -addr-file, hit /healthz, then
+// cancel the context and require a clean exit.
+func TestServeWritesAddrFileAndShutsDown(t *testing.T) {
+	dir := t.TempDir()
+	addrFile := filepath.Join(dir, "addr")
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- serve(ctx, "127.0.0.1:0", addrFile, "table2", 1, 1, 1, 0)
+	}()
+
+	var addr string
+	deadline := time.Now().Add(10 * time.Second)
+	for addr == "" {
+		if time.Now().After(deadline) {
+			t.Fatal("addr file never appeared")
+		}
+		if b, err := os.ReadFile(addrFile); err == nil && len(b) > 0 {
+			addr = strings.TrimSpace(string(b))
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	resp, err := http.Get("http://" + addr + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz: %s", resp.Status)
+	}
+
+	cancel()
+	select {
+	case err := <-errCh:
+		if err != nil {
+			t.Fatalf("serve returned %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("serve did not shut down after cancel")
+	}
+}
+
+// TestRunStreamHonorsContext: a cancelled context stops the infinite
+// stream promptly.
+func TestRunStreamHonorsContext(t *testing.T) {
+	s := newServer(1, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	testHookAfterExperiment = func(seq int) {
+		if seq == 2 {
+			cancel()
+		}
+	}
+	defer func() { testHookAfterExperiment = nil }()
+	done := make(chan struct{})
+	go func() {
+		s.runStream(ctx, []string{"table2"}, 0, 0) // repeat forever
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("runStream did not stop after cancel")
+	}
+	if got := s.started.Value(); got != 2 {
+		t.Errorf("started %g runs before stopping, want 2", got)
+	}
+}

@@ -25,9 +25,12 @@
 //	-cap F           capacitor override (farads)
 //	-vsample S       voltage sample decimation (0 disables the track)
 //	-out FILE        trace path (default: derived from the workload name)
+//	-stats FILE      also write the telemetry section as indented JSON
+//	                 (same probe.Section shape as mousebench -telemetry)
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -67,6 +70,7 @@ func run(args []string, stdout io.Writer) error {
 	capF := fs.Float64("cap", 0, "capacitor override in farads (0 = technology default)")
 	vsample := fs.Float64("vsample", 1e-3, "capacitor voltage sample interval in seconds (0 = no voltage track)")
 	outPath := fs.String("out", "", "trace output path (default derived from the workload name)")
+	statsPath := fs.String("stats", "", "also write the probe telemetry section to this file as JSON")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -180,10 +184,27 @@ func run(args []string, stdout io.Writer) error {
 		return runErr
 	}
 
+	sec := stats.Section()
+	if *statsPath != "" {
+		sf, err := os.Create(*statsPath)
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(sf)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(sec); err != nil {
+			sf.Close()
+			return fmt.Errorf("writing %s: %w", *statsPath, err)
+		}
+		if err := sf.Close(); err != nil {
+			return err
+		}
+	}
+
 	fmt.Fprintf(stdout, "workload      %s on %s under %s\n", spec.Name, cfg.Name, src.Name())
 	fmt.Fprintf(stdout, "latency       %.6g s (on %.6g s, charging %.6g s)\n",
 		res.TotalLatency(), res.OnLatency, res.OffLatency)
-	if err := stats.Section().WriteSummary(stdout); err != nil {
+	if err := sec.WriteSummary(stdout); err != nil {
 		return err
 	}
 	fmt.Fprintf(stdout, "trace         %s — open in https://ui.perfetto.dev or chrome://tracing\n", path)

@@ -6,6 +6,7 @@ import (
 	"flag"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"testing"
 )
@@ -131,6 +132,60 @@ func TestTraceSchema(t *testing.T) {
 		if seen[ph] == 0 {
 			t.Errorf("no %q events in a starved run: %v", ph, seen)
 		}
+	}
+}
+
+// TestStatsFileMatchesSummary runs the golden configuration with -stats
+// and checks the JSON section agrees with the stdout summary, while the
+// trace and stdout stay byte-identical to a run without the flag.
+func TestStatsFileMatchesSummary(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "run.trace.json")
+	var plainStdout bytes.Buffer
+	if err := run(goldenArgs(out), &plainStdout); err != nil {
+		t.Fatal(err)
+	}
+	plainTrace, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	statsFile := filepath.Join(dir, "stats.json")
+	var stdout bytes.Buffer
+	if err := run(append(goldenArgs(out), "-stats", statsFile), &stdout); err != nil {
+		t.Fatal(err)
+	}
+
+	if plainStdout.String() != stdout.String() {
+		t.Errorf("-stats changed stdout:\n%s\nvs\n%s", stdout.String(), plainStdout.String())
+	}
+	statsTrace, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(plainTrace, statsTrace) {
+		t.Errorf("-stats changed the trace bytes")
+	}
+
+	data, err := os.ReadFile(statsFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sec struct {
+		Instructions uint64 `json:"instructions"`
+		Outages      uint64 `json:"outages"`
+		Replays      uint64 `json:"replays"`
+	}
+	if err := json.Unmarshal(data, &sec); err != nil {
+		t.Fatalf("stats file is not valid JSON: %v", err)
+	}
+	if sec.Instructions == 0 || sec.Outages == 0 {
+		t.Errorf("stats section looks empty: %+v", sec)
+	}
+	// The summary's instruction count must agree with the JSON section.
+	wantLine := "instructions  " + strconv.FormatUint(sec.Instructions, 10)
+	if !strings.Contains(stdout.String(), wantLine) {
+		t.Errorf("summary does not contain %q:\n%s", wantLine, stdout.String())
 	}
 }
 

@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"runtime"
+	"runtime/debug"
 	"time"
 
 	"mouse/internal/array"
@@ -34,6 +36,40 @@ type Report struct {
 	// schema at v1: absent in older BENCH_*.json files, ignored by
 	// tooling that does not know it.
 	Telemetry *probe.Section `json:"telemetry,omitempty"`
+
+	// Meta records the environment that produced the report (toolchain,
+	// host parallelism, git revision when the binary carries VCS
+	// stamping). Like Telemetry it is an optional v1 section: Normalize
+	// strips it, so it never participates in cross-run result diffs.
+	Meta *RunMeta `json:"meta,omitempty"`
+}
+
+// RunMeta is the report's run-environment stamp.
+type RunMeta struct {
+	GoVersion  string `json:"go_version"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	// GitRevision is the commit the binary was built from, when the Go
+	// toolchain embedded VCS info (`go build` inside a checkout; absent
+	// under `go run` and in test binaries).
+	GitRevision string `json:"git_revision,omitempty"`
+	// GitDirty marks a build from a modified working tree.
+	GitDirty bool `json:"git_dirty,omitempty"`
+}
+
+// CollectRunMeta captures the current process's run metadata.
+func CollectRunMeta() *RunMeta {
+	m := &RunMeta{GoVersion: runtime.Version(), GOMAXPROCS: runtime.GOMAXPROCS(0)}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				m.GitRevision = s.Value
+			case "vcs.modified":
+				m.GitDirty = s.Value == "true"
+			}
+		}
+	}
+	return m
 }
 
 // ExperimentReport is one experiment's structured result.
@@ -85,6 +121,7 @@ func (r *Report) Normalize() {
 	// of the same experiments at different parallelism can differ in the
 	// last ulp; the section is diagnostics, not simulation output.
 	r.Telemetry = nil
+	r.Meta = nil
 }
 
 // Fig9Sweep is one configuration's Fig. 9 power sweep in a report.
@@ -271,6 +308,13 @@ func selectExperiments(experiment string) ([]Experiment, error) {
 // human-readable tables, separated by exactly one blank line, with no
 // leading or trailing blank line.
 func RunPrinted(w io.Writer, experiment string, workers int, obs ...probe.Observer) error {
+	return RunPrintedProgress(w, experiment, workers, nil, obs...)
+}
+
+// RunPrintedProgress is RunPrinted with per-experiment lifecycle events
+// delivered to prog (nil means no events). Events only wrap the calls —
+// table bytes on w are identical with or without a Progress attached.
+func RunPrintedProgress(w io.Writer, experiment string, workers int, prog Progress, obs ...probe.Observer) error {
 	selected, err := selectExperiments(experiment)
 	if err != nil {
 		return err
@@ -279,7 +323,15 @@ func RunPrinted(w io.Writer, experiment string, workers int, obs ...probe.Observ
 		if i > 0 {
 			fmt.Fprintln(w)
 		}
-		if err := e.Print(w, workers, obs...); err != nil {
+		if prog != nil {
+			prog.ExperimentStarted(e.Name, i+1, len(selected))
+		}
+		start := time.Now()
+		err := e.Print(w, workers, obs...)
+		if prog != nil {
+			prog.ExperimentFinished(e.Name, i+1, len(selected), -1, time.Since(start), err)
+		}
+		if err != nil {
 			return fmt.Errorf("%s: %w", e.Name, err)
 		}
 	}
@@ -287,22 +339,36 @@ func RunPrinted(w io.Writer, experiment string, workers int, obs ...probe.Observ
 }
 
 // BuildReport computes the selected experiment's (or "all" experiments')
-// typed rows and wall-clock costs into a Report.
+// typed rows and wall-clock costs into a Report, stamped with the
+// current run's metadata.
 func BuildReport(experiment string, workers int, obs ...probe.Observer) (*Report, error) {
+	return BuildReportProgress(experiment, workers, nil, obs...)
+}
+
+// BuildReportProgress is BuildReport with per-experiment lifecycle
+// events delivered to prog (nil means no events).
+func BuildReportProgress(experiment string, workers int, prog Progress, obs ...probe.Observer) (*Report, error) {
 	selected, err := selectExperiments(experiment)
 	if err != nil {
 		return nil, err
 	}
-	rep := &Report{Schema: Schema, Tool: "mousebench", Parallelism: clampWorkers(workers, 1<<30)}
+	rep := &Report{Schema: Schema, Tool: "mousebench", Parallelism: clampWorkers(workers, 1<<30), Meta: CollectRunMeta()}
 	for _, e := range selected {
+		if prog != nil {
+			prog.ExperimentStarted(e.Name, len(rep.Experiments)+1, len(selected))
+		}
 		start := time.Now()
 		rows, err := e.Rows(workers, obs...)
+		wall := time.Since(start)
+		if prog != nil {
+			prog.ExperimentFinished(e.Name, len(rep.Experiments)+1, len(selected), RowCount(rows), wall, err)
+		}
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", e.Name, err)
 		}
 		rep.Experiments = append(rep.Experiments, ExperimentReport{
 			Name:        e.Name,
-			WallSeconds: time.Since(start).Seconds(),
+			WallSeconds: wall.Seconds(),
 			Rows:        rows,
 		})
 	}
@@ -313,8 +379,14 @@ func BuildReport(experiment string, workers int, obs ...probe.Observer) (*Report
 // attached to every simulation the selected experiments run; its
 // snapshot lands in the report's Telemetry section.
 func BuildTelemetryReport(experiment string, workers int) (*Report, error) {
+	return BuildTelemetryReportProgress(experiment, workers, nil)
+}
+
+// BuildTelemetryReportProgress is BuildTelemetryReport with progress
+// events (nil prog means no events).
+func BuildTelemetryReportProgress(experiment string, workers int, prog Progress) (*Report, error) {
 	stats := &probe.Stats{}
-	rep, err := BuildReport(experiment, workers, stats)
+	rep, err := BuildReportProgress(experiment, workers, prog, stats)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,90 @@
+package metrics
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ContentType is the HTTP Content-Type of the Prometheus text format
+// version this package emits.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WriteText renders every family in Prometheus text exposition format
+// (version 0.0.4): families sorted by name, each preceded by its
+// # HELP and # TYPE lines, children in the deterministic order the
+// family's sample function yields. OnScrape hooks run first, so
+// callback-backed families observe one consistent snapshot.
+func (r *Registry) WriteText(w io.Writer) error {
+	r.mu.Lock()
+	prep := append([]func(){}, r.prep...)
+	families := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		families = append(families, f)
+	}
+	r.mu.Unlock()
+	for _, fn := range prep {
+		fn()
+	}
+	sort.Slice(families, func(i, j int) bool { return families[i].name < families[j].name })
+
+	bw := bufio.NewWriter(w)
+	for _, f := range families {
+		bw.WriteString("# HELP ")
+		bw.WriteString(f.name)
+		bw.WriteByte(' ')
+		bw.WriteString(escapeHelp(f.help))
+		bw.WriteByte('\n')
+		bw.WriteString("# TYPE ")
+		bw.WriteString(f.name)
+		bw.WriteByte(' ')
+		bw.WriteString(f.kind)
+		bw.WriteByte('\n')
+		for _, s := range f.samples() {
+			bw.WriteString(f.name)
+			bw.WriteString(s.Suffix)
+			if len(s.Labels) > 0 {
+				bw.WriteByte('{')
+				for i, l := range s.Labels {
+					if i > 0 {
+						bw.WriteByte(',')
+					}
+					bw.WriteString(l.Name)
+					bw.WriteString(`="`)
+					bw.WriteString(escapeLabel(l.Value))
+					bw.WriteByte('"')
+				}
+				bw.WriteByte('}')
+			}
+			bw.WriteByte(' ')
+			bw.WriteString(formatValue(s.Value))
+			bw.WriteByte('\n')
+		}
+	}
+	return bw.Flush()
+}
+
+// formatValue renders a sample value: full round-trip precision, with
+// the spec's spellings for infinities and NaN.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+var (
+	helpEscaper  = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	labelEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`, `"`, `\"`)
+)
+
+func escapeHelp(s string) string  { return helpEscaper.Replace(s) }
+func escapeLabel(s string) string { return labelEscaper.Replace(s) }

@@ -1,0 +1,440 @@
+package metrics
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file is the in-repo exposition linter: a parser for the
+// Prometheus text format plus semantic checks (header placement, sample
+// grouping, histogram invariants). CI serves a live moused registry
+// through it, so a formatting regression in WriteText or in a bridge
+// callback fails the build instead of silently breaking scrapers.
+
+// ParsedSample is one decoded sample line.
+type ParsedSample struct {
+	// Name is the full sample name, including histogram suffixes.
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// Key renders the canonical identity of the sample: the name plus the
+// label set sorted by label name, in exposition syntax.
+func (s ParsedSample) Key() string {
+	if len(s.Labels) == 0 {
+		return s.Name
+	}
+	names := make([]string, 0, len(s.Labels))
+	for n := range s.Labels {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	b.WriteString(s.Name)
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s=%q`, n, s.Labels[n])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Parse decodes the text exposition format into its samples, validating
+// syntax only (names, label quoting, float values). Comment lines other
+// than HELP/TYPE are ignored.
+func Parse(r io.Reader) ([]ParsedSample, error) {
+	var samples []ParsedSample
+	err := scan(r, func(int, string, headerLine) {}, func(_ int, s ParsedSample) error {
+		samples = append(samples, s)
+		return nil
+	})
+	return samples, err
+}
+
+// Values decodes the exposition into a map from canonical sample key
+// (see ParsedSample.Key) to value, rejecting duplicate series.
+func Values(r io.Reader) (map[string]float64, error) {
+	samples, err := Parse(r)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]float64, len(samples))
+	for _, s := range samples {
+		k := s.Key()
+		if _, dup := out[k]; dup {
+			return nil, fmt.Errorf("metrics: duplicate series %s", k)
+		}
+		out[k] = s.Value
+	}
+	return out, nil
+}
+
+// headerLine is a decoded # HELP or # TYPE comment.
+type headerLine struct {
+	kind string // "HELP" or "TYPE"
+	name string
+	rest string
+}
+
+// scan tokenizes the exposition line by line, invoking onHeader for
+// HELP/TYPE comments and onSample for samples.
+func scan(r io.Reader, onHeader func(line int, text string, h headerLine), onSample func(line int, s ParsedSample) error) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	ln := 0
+	for sc.Scan() {
+		ln++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) >= 3 && (fields[1] == "HELP" || fields[1] == "TYPE") {
+				rest := ""
+				if len(fields) == 4 {
+					rest = fields[3]
+				}
+				if !nameRE.MatchString(fields[2]) {
+					return fmt.Errorf("line %d: invalid metric name %q in %s", ln, fields[2], fields[1])
+				}
+				onHeader(ln, line, headerLine{kind: fields[1], name: fields[2], rest: rest})
+			}
+			continue
+		}
+		s, err := parseSample(line)
+		if err != nil {
+			return fmt.Errorf("line %d: %w", ln, err)
+		}
+		if err := onSample(ln, s); err != nil {
+			return fmt.Errorf("line %d: %w", ln, err)
+		}
+	}
+	return sc.Err()
+}
+
+// parseSample decodes `name{label="value",...} value [timestamp]`.
+func parseSample(line string) (ParsedSample, error) {
+	s := ParsedSample{}
+	i := strings.IndexAny(line, "{ ")
+	if i < 0 {
+		return s, fmt.Errorf("malformed sample %q", line)
+	}
+	s.Name = line[:i]
+	if !nameRE.MatchString(s.Name) {
+		return s, fmt.Errorf("invalid metric name %q", s.Name)
+	}
+	rest := line[i:]
+	if rest[0] == '{' {
+		s.Labels = map[string]string{}
+		rest = rest[1:]
+		for {
+			rest = strings.TrimLeft(rest, " ")
+			if len(rest) > 0 && rest[0] == '}' {
+				rest = rest[1:]
+				break
+			}
+			eq := strings.IndexByte(rest, '=')
+			if eq < 0 {
+				return s, fmt.Errorf("malformed labels in %q", line)
+			}
+			name := strings.TrimSpace(rest[:eq])
+			if !labelRE.MatchString(name) {
+				return s, fmt.Errorf("invalid label name %q", name)
+			}
+			rest = rest[eq+1:]
+			if len(rest) == 0 || rest[0] != '"' {
+				return s, fmt.Errorf("unquoted label value in %q", line)
+			}
+			val, n, err := unescapeLabel(rest[1:])
+			if err != nil {
+				return s, fmt.Errorf("%v in %q", err, line)
+			}
+			if _, dup := s.Labels[name]; dup {
+				return s, fmt.Errorf("duplicate label %q in %q", name, line)
+			}
+			s.Labels[name] = val
+			rest = rest[1+n:]
+			if len(rest) > 0 && rest[0] == ',' {
+				rest = rest[1:]
+			}
+		}
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return s, fmt.Errorf("expected value [timestamp] after name in %q", line)
+	}
+	v, err := parseValue(fields[0])
+	if err != nil {
+		return s, err
+	}
+	s.Value = v
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return s, fmt.Errorf("invalid timestamp %q", fields[1])
+		}
+	}
+	return s, nil
+}
+
+// unescapeLabel decodes a quoted label value starting after the opening
+// quote, returning the value and the number of input bytes consumed
+// including the closing quote.
+func unescapeLabel(in string) (string, int, error) {
+	var b strings.Builder
+	for i := 0; i < len(in); i++ {
+		switch in[i] {
+		case '"':
+			return b.String(), i + 1, nil
+		case '\\':
+			i++
+			if i >= len(in) {
+				return "", 0, fmt.Errorf("dangling escape")
+			}
+			switch in[i] {
+			case '\\':
+				b.WriteByte('\\')
+			case '"':
+				b.WriteByte('"')
+			case 'n':
+				b.WriteByte('\n')
+			default:
+				return "", 0, fmt.Errorf("invalid escape \\%c", in[i])
+			}
+		default:
+			b.WriteByte(in[i])
+		}
+	}
+	return "", 0, fmt.Errorf("unterminated label value")
+}
+
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("invalid sample value %q", s)
+	}
+	return v, nil
+}
+
+// baseName strips a histogram sample suffix when fam is a declared
+// histogram family name matching the sample.
+func histBase(name string) (base string, suffix string) {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if strings.HasSuffix(name, suf) {
+			return strings.TrimSuffix(name, suf), suf
+		}
+	}
+	return name, ""
+}
+
+// famState tracks one family group while linting.
+type famState struct {
+	typ     string
+	sawHelp bool
+	sawType bool
+	done    bool
+	// histogram accumulation, keyed by the non-le label signature
+	buckets map[string][]bucket
+	counts  map[string]float64
+	sums    map[string]bool
+}
+
+type bucket struct {
+	le  float64
+	cum float64
+}
+
+// Lint validates text-exposition output end to end: syntax (via the
+// parser), header rules (TYPE/HELP precede samples, at most one each,
+// known types), group contiguity (all samples of a family form one
+// block), per-series uniqueness, non-negative counters, and histogram
+// invariants (le-sorted cumulative buckets, a +Inf bucket agreeing with
+// _count, _sum present).
+func Lint(r io.Reader) error {
+	fams := map[string]*famState{}
+	current := ""
+	seen := map[string]bool{}
+
+	get := func(name string) *famState {
+		f := fams[name]
+		if f == nil {
+			f = &famState{buckets: map[string][]bucket{}, counts: map[string]float64{}, sums: map[string]bool{}}
+			fams[name] = f
+		}
+		return f
+	}
+	var hdrErr error
+	enter := func(ln int, name string) *famState {
+		if current != name {
+			if cur := fams[current]; cur != nil {
+				cur.done = true
+			}
+			current = name
+		}
+		f := get(name)
+		if f.done && hdrErr == nil {
+			hdrErr = fmt.Errorf("line %d: family %q split into multiple groups", ln, name)
+		}
+		return f
+	}
+
+	err := scan(r,
+		func(ln int, _ string, h headerLine) {
+			f := enter(ln, h.name)
+			if hdrErr != nil {
+				return
+			}
+			switch h.kind {
+			case "HELP":
+				if f.sawHelp {
+					hdrErr = fmt.Errorf("line %d: second HELP for %q", ln, h.name)
+				}
+				f.sawHelp = true
+			case "TYPE":
+				switch {
+				case f.sawType:
+					hdrErr = fmt.Errorf("line %d: second TYPE for %q", ln, h.name)
+				case f.typ != "":
+					// samples already seen (typ set by sample path)
+					hdrErr = fmt.Errorf("line %d: TYPE for %q after its samples", ln, h.name)
+				}
+				switch h.rest {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+					f.typ = h.rest
+				default:
+					hdrErr = fmt.Errorf("line %d: unknown TYPE %q for %q", ln, h.rest, h.name)
+				}
+				f.sawType = true
+			}
+		},
+		func(ln int, s ParsedSample) error {
+			if hdrErr != nil {
+				return nil
+			}
+			// Resolve which family this sample belongs to: histogram
+			// child suffixes fold into their declared base family.
+			fam := s.Name
+			if base, suf := histBase(s.Name); suf != "" {
+				if f := fams[base]; f != nil && f.typ == "histogram" {
+					fam = base
+				}
+			}
+			f := enter(ln, fam)
+			if f.typ == "" {
+				f.typ = "untyped"
+			}
+			key := s.Key()
+			if seen[key] {
+				return fmt.Errorf("duplicate series %s", key)
+			}
+			seen[key] = true
+
+			if f.typ == "counter" && s.Value < 0 {
+				return fmt.Errorf("counter %s is negative (%g)", key, s.Value)
+			}
+			if f.typ == "histogram" && fam != s.Name {
+				_, suf := histBase(s.Name)
+				sig := signatureWithoutLe(s.Labels)
+				switch suf {
+				case "_bucket":
+					leStr, ok := s.Labels["le"]
+					if !ok {
+						return fmt.Errorf("histogram bucket %s without le label", key)
+					}
+					le, err := parseValue(leStr)
+					if err != nil {
+						return fmt.Errorf("histogram bucket %s: bad le: %v", key, err)
+					}
+					f.buckets[sig] = append(f.buckets[sig], bucket{le: le, cum: s.Value})
+				case "_sum":
+					f.sums[sig] = true
+				case "_count":
+					f.counts[sig] = s.Value
+				}
+			}
+			return nil
+		})
+	if err != nil {
+		return err
+	}
+	if hdrErr != nil {
+		return hdrErr
+	}
+
+	// Post-pass: histogram invariants per family and label signature.
+	for name, f := range fams {
+		if f.typ != "histogram" {
+			continue
+		}
+		for sig, bs := range f.buckets {
+			for i := 1; i < len(bs); i++ {
+				if bs[i].le <= bs[i-1].le {
+					return fmt.Errorf("histogram %s%s: buckets not sorted by le", name, sig)
+				}
+				if bs[i].cum < bs[i-1].cum {
+					return fmt.Errorf("histogram %s%s: cumulative counts decrease at le=%g", name, sig, bs[i].le)
+				}
+			}
+			last := bs[len(bs)-1]
+			if !math.IsInf(last.le, 1) {
+				return fmt.Errorf("histogram %s%s: missing +Inf bucket", name, sig)
+			}
+			count, ok := f.counts[sig]
+			if !ok {
+				return fmt.Errorf("histogram %s%s: missing _count", name, sig)
+			}
+			if count != last.cum {
+				return fmt.Errorf("histogram %s%s: _count %g != +Inf bucket %g", name, sig, count, last.cum)
+			}
+			if !f.sums[sig] {
+				return fmt.Errorf("histogram %s%s: missing _sum", name, sig)
+			}
+		}
+	}
+	return nil
+}
+
+// signatureWithoutLe canonicalizes a bucket's labels minus le, so
+// buckets of the same series group together.
+func signatureWithoutLe(labels map[string]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	names := make([]string, 0, len(labels))
+	for n := range labels {
+		if n != "le" {
+			names = append(names, n)
+		}
+	}
+	if len(names) == 0 {
+		return ""
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s=%q`, n, labels[n])
+	}
+	b.WriteByte('}')
+	return b.String()
+}

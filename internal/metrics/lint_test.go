@@ -1,0 +1,180 @@
+package metrics
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"mouse/internal/isa"
+	"mouse/internal/probe"
+)
+
+func TestLintAcceptsRegistryOutput(t *testing.T) {
+	r := New()
+	r.NewCounter("a_total", "a counter").Add(3)
+	r.NewGauge("b_depth", "a gauge").Set(-2)
+	r.NewHistogram("c_seconds", "a histogram", LogBuckets(1e-3, 4)).Observe(0.5)
+	r.NewCounterVec("d_total", "labeled", "kind").With("x").Inc()
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := Lint(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Errorf("lint rejected registry output: %v\n%s", err, buf.String())
+	}
+}
+
+func TestLintRejections(t *testing.T) {
+	cases := map[string]string{
+		"bad metric name":    "0bad 1\n",
+		"bad value":          "a_total 1.2.3\n",
+		"bad label name":     `a_total{0bad="x"} 1` + "\n",
+		"unquoted label":     `a_total{k=x} 1` + "\n",
+		"unterminated":       `a_total{k="x} 1` + "\n",
+		"bad escape":         `a_total{k="\q"} 1` + "\n",
+		"duplicate series":   "a_total 1\na_total 2\n",
+		"negative counter":   "# TYPE a_total counter\na_total -1\n",
+		"unknown type":       "# TYPE a_total timer\na_total 1\n",
+		"second type":        "# TYPE a_total counter\n# TYPE a_total gauge\na_total 1\n",
+		"type after samples": "a_total 1\n# TYPE a_total counter\n",
+		"split group":        "# TYPE a_total counter\na_total 1\n# TYPE b_total counter\nb_total 1\n# HELP a_total again\n",
+		"bad timestamp":      "a_total 1 12.5\n",
+		"hist not cumulative": "# TYPE h histogram\n" +
+			`h_bucket{le="1"} 5` + "\n" + `h_bucket{le="+Inf"} 3` + "\n" +
+			"h_sum 1\nh_count 3\n",
+		"hist unsorted le": "# TYPE h histogram\n" +
+			`h_bucket{le="2"} 1` + "\n" + `h_bucket{le="1"} 1` + "\n" + `h_bucket{le="+Inf"} 2` + "\n" +
+			"h_sum 1\nh_count 2\n",
+		"hist missing +Inf": "# TYPE h histogram\n" +
+			`h_bucket{le="1"} 1` + "\n" + "h_sum 1\nh_count 1\n",
+		"hist count mismatch": "# TYPE h histogram\n" +
+			`h_bucket{le="+Inf"} 2` + "\n" + "h_sum 1\nh_count 3\n",
+		"hist missing sum": "# TYPE h histogram\n" +
+			`h_bucket{le="+Inf"} 1` + "\n" + "h_count 1\n",
+		"hist bucket without le": "# TYPE h histogram\n" +
+			`h_bucket{x="1"} 1` + "\n" + "h_sum 1\nh_count 1\n",
+	}
+	for name, in := range cases {
+		if err := Lint(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: lint accepted\n%s", name, in)
+		}
+	}
+}
+
+func TestLintAcceptsUntypedAndComments(t *testing.T) {
+	in := "# a free comment\n\nplain_value 1\n# HELP other described\nother 2 1700000000\n"
+	if err := Lint(strings.NewReader(in)); err != nil {
+		t.Errorf("lint rejected valid untyped exposition: %v", err)
+	}
+}
+
+func TestValuesRoundTrip(t *testing.T) {
+	in := `a_total{x="1",y="2"} 3` + "\n" + "b 4\n"
+	vals, err := Values(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vals[`a_total{x="1",y="2"}`] != 3 || vals["b"] != 4 {
+		t.Errorf("values %v", vals)
+	}
+}
+
+// TestExportStatsMatchesSection is the bridge's differential test: every
+// exposition value must equal the corresponding field of the same
+// Section snapshot, and the whole document must pass the linter.
+func TestExportStatsMatchesSection(t *testing.T) {
+	s := &probe.Stats{}
+	for i := 0; i < 7; i++ {
+		s.InstrRetired(probe.Instr{Dur: 0.5, Kind: isa.KindLogic, Energy: 0.25, Backup: 0.125})
+	}
+	s.InstrRetired(probe.Instr{Dur: 0.5, Kind: isa.KindPreset, Energy: 0.25, Replay: true})
+	s.PulseInterrupted(probe.Interrupt{Lost: 0.0625})
+	for _, off := range []float64{1e-7, 3e-4, 2.0, 500} {
+		s.OutageBegin(0)
+		s.OutageEnd(1, off)
+	}
+	s.Restored(probe.Restore{Dur: 0.5, Energy: 0.125, Cols: 3})
+	s.VoltageSample(0, 0.25)
+	s.VoltageSample(1, 0.75)
+	s.TileWrite(0, 8)
+	s.TileWrite(5, 16)
+	s.FaultInjected(probe.Fault{})
+
+	r := New()
+	ExportStats(r, "mouse_probe", s.Section)
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := Lint(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("bridge output fails lint: %v\n%s", err, buf.String())
+	}
+	vals, err := Values(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sec := s.Section()
+	want := map[string]float64{
+		"mouse_probe_instructions_total":                         float64(sec.Instructions),
+		`mouse_probe_instructions_by_kind_total{kind="logic"}`:   7,
+		`mouse_probe_instructions_by_kind_total{kind="preset"}`:  1,
+		"mouse_probe_replays_total":                              float64(sec.Replays),
+		"mouse_probe_interrupts_total":                           float64(sec.Interrupts),
+		"mouse_probe_outages_total":                              float64(sec.Outages),
+		"mouse_probe_restores_total":                             float64(sec.Restores),
+		"mouse_probe_faults_injected_total":                      float64(sec.FaultsInjected),
+		"mouse_probe_voltage_samples_total":                      float64(sec.VoltageSamples),
+		`mouse_probe_energy_joules_total{phase="compute"}`:       sec.Energy.Compute,
+		`mouse_probe_energy_joules_total{phase="backup"}`:        sec.Energy.Backup,
+		`mouse_probe_energy_joules_total{phase="restore"}`:       sec.Energy.Restore,
+		`mouse_probe_energy_joules_total{phase="lost"}`:          sec.Energy.Lost,
+		`mouse_probe_energy_joules_total{phase="replay"}`:        sec.Energy.Replay,
+		"mouse_probe_busy_seconds_total":                         sec.BusySeconds,
+		"mouse_probe_outage_seconds_total":                       sec.OutageSeconds,
+		"mouse_probe_restore_seconds_total":                      sec.RestoreSeconds,
+		`mouse_probe_voltage_volts{bound="min"}`:                 sec.VoltageMin,
+		`mouse_probe_voltage_volts{bound="max"}`:                 sec.VoltageMax,
+		`mouse_probe_tile_writes_total{tile="0"}`:                float64(sec.TileWrites[0].Writes),
+		`mouse_probe_tile_bits_total{tile="5"}`:                  float64(sec.TileWrites[1].Bits),
+		"mouse_probe_outage_duration_seconds_sum":                sec.OutageSeconds,
+		"mouse_probe_outage_duration_seconds_count":              float64(sec.Outages),
+		`mouse_probe_outage_duration_seconds_bucket{le="1e-06"}`: 1,
+		`mouse_probe_outage_duration_seconds_bucket{le="0.001"}`: 2,
+		`mouse_probe_outage_duration_seconds_bucket{le="10"}`:    3,
+		`mouse_probe_outage_duration_seconds_bucket{le="+Inf"}`:  4,
+	}
+	for key, v := range want {
+		got, ok := vals[key]
+		if !ok {
+			t.Errorf("missing series %s\n%s", key, buf.String())
+			continue
+		}
+		if got != v {
+			t.Errorf("%s = %g, want %g", key, got, v)
+		}
+	}
+}
+
+// TestExportStatsSnapshotsOncePerScrape pins the OnScrape contract: the
+// source function runs exactly once per WriteText, no matter how many
+// families it feeds.
+func TestExportStatsSnapshotsOncePerScrape(t *testing.T) {
+	s := &probe.Stats{}
+	calls := 0
+	r := New()
+	ExportStats(r, "mouse_probe", func() *probe.Section {
+		calls++
+		return s.Section()
+	})
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 {
+		t.Errorf("source snapshotted %d times in one scrape, want 1", calls)
+	}
+	if err := Lint(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Errorf("empty-stats exposition fails lint: %v", err)
+	}
+}

@@ -1,0 +1,251 @@
+package metrics
+
+import (
+	"bytes"
+	"math"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := New()
+	c := r.NewCounter("test_ops_total", "ops")
+	g := r.NewGauge("test_depth", "depth")
+	c.Inc()
+	c.Add(2.5)
+	g.Set(4)
+	g.Add(-1.5)
+	if got := c.Value(); got != 3.5 {
+		t.Errorf("counter %g, want 3.5", got)
+	}
+	if got := g.Value(); got != 2.5 {
+		t.Errorf("gauge %g, want 2.5", got)
+	}
+}
+
+func TestCounterRejectsNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("negative Add did not panic")
+		}
+	}()
+	r := New()
+	r.NewCounter("test_total", "t").Add(-1)
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := New()
+	h := r.NewHistogram("test_seconds", "t", []float64{1, 10, 100})
+	for _, v := range []float64{0.5, 1, 1.5, 10, 11, 1000} {
+		h.Observe(v)
+	}
+	if h.Count() != 6 {
+		t.Errorf("count %d, want 6", h.Count())
+	}
+	if h.Sum() != 1024 {
+		t.Errorf("sum %g, want 1024", h.Sum())
+	}
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP test_seconds t
+# TYPE test_seconds histogram
+test_seconds_bucket{le="1"} 2
+test_seconds_bucket{le="10"} 4
+test_seconds_bucket{le="100"} 5
+test_seconds_bucket{le="+Inf"} 6
+test_seconds_sum 1024
+test_seconds_count 6
+`
+	if got := buf.String(); got != want {
+		t.Errorf("exposition:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestLogBuckets(t *testing.T) {
+	got := LogBuckets(1e-6, 9)
+	if len(got) != 9 || got[0] != 1e-6 || got[8] != 100 {
+		t.Errorf("LogBuckets(1e-6, 9) = %v", got)
+	}
+}
+
+func TestVecChildrenSortedAndEscaped(t *testing.T) {
+	r := New()
+	cv := r.NewCounterVec("test_by_kind_total", `kinds with "quotes" and \slashes`, "kind")
+	cv.With("b\nb").Add(2)
+	cv.With(`a"x`).Inc()
+	gv := r.NewGaugeVec("test_temp", "t", "zone", "rack")
+	gv.With("z1", "r2").Set(5)
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP test_by_kind_total kinds with "quotes" and \\slashes
+# TYPE test_by_kind_total counter
+test_by_kind_total{kind="a\"x"} 1
+test_by_kind_total{kind="b\nb"} 2
+# HELP test_temp t
+# TYPE test_temp gauge
+test_temp{zone="z1",rack="r2"} 5
+`
+	if got := buf.String(); got != want {
+		t.Errorf("exposition:\n%s\nwant:\n%s", got, want)
+	}
+	// Round-trip through the parser restores the escaped values.
+	vals, err := Values(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Key() renders label values Go-quoted, so the quote re-escapes.
+	if vals["test_by_kind_total{kind=\"a\\\"x\"}"] != 1 {
+		t.Errorf("parsed values: %v", vals)
+	}
+}
+
+func TestWithReturnsSameChild(t *testing.T) {
+	r := New()
+	cv := r.NewCounterVec("test_total", "t", "k")
+	a, b := cv.With("x"), cv.With("x")
+	if a != b {
+		t.Errorf("With returned distinct children for identical labels")
+	}
+}
+
+func TestDuplicateAndInvalidRegistrationPanics(t *testing.T) {
+	r := New()
+	r.NewCounter("dup_total", "d")
+	for name, fn := range map[string]func(){
+		"duplicate":      func() { r.NewGauge("dup_total", "d") },
+		"invalid name":   func() { r.NewCounter("0bad", "d") },
+		"invalid label":  func() { r.NewCounterVec("ok_total", "d", "0bad") },
+		"invalid kind":   func() { r.Collect("ok2_total", "timer", "d", nil) },
+		"unsorted hist":  func() { r.NewHistogram("h1", "d", []float64{2, 1}) },
+		"infinite bound": func() { r.NewHistogram("h2", "d", []float64{1, math.Inf(1)}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s registration did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// TestConcurrentUpdates hammers the instruments from several
+// goroutines; totals must come out exact and -race must stay quiet,
+// pinning the lock-free hot-path contract.
+func TestConcurrentUpdates(t *testing.T) {
+	r := New()
+	c := r.NewCounter("test_total", "t")
+	g := r.NewGauge("test_gauge", "t")
+	h := r.NewHistogram("test_hist", "t", LogBuckets(1e-3, 5))
+	cv := r.NewCounterVec("test_vec_total", "t", "w")
+	const workers = 8
+	const per = 2000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	go func() { // concurrent scraper
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				var buf bytes.Buffer
+				if err := r.WriteText(&buf); err != nil {
+					panic(err)
+				}
+			}
+		}
+	}()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			kid := cv.With("w")
+			for i := 0; i < per; i++ {
+				c.Inc()
+				g.Add(0.5)
+				h.Observe(0.01)
+				kid.Inc()
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	if c.Value() != workers*per {
+		t.Errorf("counter %g, want %d", c.Value(), workers*per)
+	}
+	if g.Value() != workers*per/2 {
+		t.Errorf("gauge %g, want %d", g.Value(), workers*per/2)
+	}
+	if h.Count() != workers*per {
+		t.Errorf("histogram count %d, want %d", h.Count(), workers*per)
+	}
+	if cv.With("w").Value() != workers*per {
+		t.Errorf("vec %g, want %d", cv.With("w").Value(), workers*per)
+	}
+}
+
+func TestOnScrapeRunsBeforeCollect(t *testing.T) {
+	r := New()
+	snapshot := -1.0
+	r.OnScrape(func() { snapshot = 42 })
+	r.Collect("test_total", "counter", "t", func() []Sample {
+		return []Sample{{Value: snapshot}}
+	})
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "test_total 42") {
+		t.Errorf("collect saw stale snapshot:\n%s", buf.String())
+	}
+}
+
+func TestHandlerServesExposition(t *testing.T) {
+	r := New()
+	r.NewCounter("test_total", "t").Add(7)
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != ContentType {
+		t.Errorf("content type %q", ct)
+	}
+	vals, err := Values(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vals["test_total"] != 7 {
+		t.Errorf("served values %v", vals)
+	}
+}
+
+func TestFormatValue(t *testing.T) {
+	cases := map[float64]string{
+		0:            "0",
+		1.5:          "1.5",
+		math.Inf(1):  "+Inf",
+		math.Inf(-1): "-Inf",
+		1e-6:         "1e-06",
+		12345678901:  "1.2345678901e+10",
+	}
+	for v, want := range cases {
+		if got := formatValue(v); got != want {
+			t.Errorf("formatValue(%g) = %q, want %q", v, got, want)
+		}
+	}
+	// Full round-trip precision: runtime float addition keeps the ulp.
+	x, y := 0.1, 0.2
+	if got := formatValue(x + y); got != "0.30000000000000004" {
+		t.Errorf("formatValue(0.1+0.2) = %q", got)
+	}
+}

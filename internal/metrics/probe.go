@@ -1,0 +1,132 @@
+package metrics
+
+import (
+	"sort"
+	"strconv"
+	"sync/atomic"
+
+	"mouse/internal/probe"
+)
+
+// ExportStats bridges probe telemetry into a registry: src is invoked
+// once per scrape (via an OnScrape hook) and its Section drives a full
+// set of metric families under the given prefix — instruction and
+// outage counters, per-phase energy, the log10 outage-duration
+// histogram, capacitor-voltage gauges, and per-tile wear counters.
+//
+// The bridge adds zero cost to simulation hot paths: runners keep
+// feeding their lock-free probe.Stats exactly as before, and all
+// conversion work happens at scrape time from the snapshot src returns.
+// src typically merges per-worker or per-device shards into a fresh
+// Stats (probe.Stats.Merge) and returns its Section, which is also what
+// post-run reports serialize — so a scrape and a report read the same
+// numbers by construction.
+func ExportStats(r *Registry, prefix string, src func() *probe.Section) {
+	var holder atomic.Pointer[probe.Section]
+	r.OnScrape(func() { holder.Store(src()) })
+
+	reg := func(name, kind, help string, fn func(sec *probe.Section) []Sample) {
+		r.Collect(prefix+name, kind, help, func() []Sample {
+			sec := holder.Load()
+			if sec == nil {
+				return nil
+			}
+			return fn(sec)
+		})
+	}
+	one := func(v float64) []Sample { return []Sample{{Value: v}} }
+
+	reg("_instructions_total", "counter", "Committed instruction cycles.",
+		func(sec *probe.Section) []Sample { return one(float64(sec.Instructions)) })
+	reg("_instructions_by_kind_total", "counter", "Committed instruction cycles by ISA kind.",
+		func(sec *probe.Section) []Sample {
+			kinds := make([]string, 0, len(sec.ByKind))
+			for k := range sec.ByKind {
+				kinds = append(kinds, k)
+			}
+			sort.Strings(kinds)
+			out := make([]Sample, 0, len(kinds))
+			for _, k := range kinds {
+				out = append(out, Sample{Labels: []Label{{"kind", k}}, Value: float64(sec.ByKind[k])})
+			}
+			return out
+		})
+	reg("_replays_total", "counter", "Instructions re-executed after a restart (the paper's at-most-one-per-outage replays).",
+		func(sec *probe.Section) []Sample { return one(float64(sec.Replays)) })
+	reg("_interrupts_total", "counter", "Pulses cut short by a power outage.",
+		func(sec *probe.Section) []Sample { return one(float64(sec.Interrupts)) })
+	reg("_outages_total", "counter", "Power outages (including each run's initial charge from empty).",
+		func(sec *probe.Section) []Sample { return one(float64(sec.Outages)) })
+	reg("_restores_total", "counter", "Completed restore phases.",
+		func(sec *probe.Section) []Sample { return one(float64(sec.Restores)) })
+	reg("_faults_injected_total", "counter", "Scheduled crash injections delivered by the fault engine.",
+		func(sec *probe.Section) []Sample { return one(float64(sec.FaultsInjected)) })
+	reg("_voltage_samples_total", "counter", "Decimated capacitor-voltage samples.",
+		func(sec *probe.Section) []Sample { return one(float64(sec.VoltageSamples)) })
+
+	reg("_energy_joules_total", "counter", "Energy by intermittent-protocol phase, in joules.",
+		func(sec *probe.Section) []Sample {
+			return []Sample{
+				{Labels: []Label{{"phase", "backup"}}, Value: sec.Energy.Backup},
+				{Labels: []Label{{"phase", "compute"}}, Value: sec.Energy.Compute},
+				{Labels: []Label{{"phase", "lost"}}, Value: sec.Energy.Lost},
+				{Labels: []Label{{"phase", "replay"}}, Value: sec.Energy.Replay},
+				{Labels: []Label{{"phase", "restore"}}, Value: sec.Energy.Restore},
+			}
+		})
+	reg("_busy_seconds_total", "counter", "Simulated seconds spent executing instructions.",
+		func(sec *probe.Section) []Sample { return one(sec.BusySeconds) })
+	reg("_outage_seconds_total", "counter", "Simulated seconds spent powered off.",
+		func(sec *probe.Section) []Sample { return one(sec.OutageSeconds) })
+	reg("_restore_seconds_total", "counter", "Simulated seconds spent in restore phases.",
+		func(sec *probe.Section) []Sample { return one(sec.RestoreSeconds) })
+
+	edges := probe.OutageHistEdges()
+	reg("_outage_duration_seconds", "histogram", "Outage durations on probe's log10 buckets (probe buckets are lower-inclusive; le here is upper-inclusive, so boundary-exact durations shift one bucket).",
+		func(sec *probe.Section) []Sample {
+			counts := make([]uint64, len(edges)+1)
+			for _, hb := range sec.OutageHist {
+				idx := len(edges) // Hi == 0 marks the open-ended last bucket
+				if hb.HiSeconds != 0 {
+					for i, e := range edges {
+						// Section computes HiSeconds with the same expression
+						// as OutageHistEdges, so == is exact.
+						if hb.HiSeconds == e {
+							idx = i
+							break
+						}
+					}
+				}
+				counts[idx] += hb.Count
+			}
+			return histogramSamples(edges, func(i int) uint64 { return counts[i] }, sec.OutageSeconds)
+		})
+
+	reg("_voltage_volts", "gauge", "Capacitor voltage extremes over the aggregated runs (absent until a voltage sample arrives).",
+		func(sec *probe.Section) []Sample {
+			if sec.VoltageSamples == 0 {
+				return nil
+			}
+			return []Sample{
+				{Labels: []Label{{"bound", "max"}}, Value: sec.VoltageMax},
+				{Labels: []Label{{"bound", "min"}}, Value: sec.VoltageMin},
+			}
+		})
+
+	reg("_tile_writes_total", "counter", "Datapath write operations per tile (wear accounting).",
+		func(sec *probe.Section) []Sample {
+			out := make([]Sample, 0, len(sec.TileWrites))
+			for _, tw := range sec.TileWrites {
+				out = append(out, Sample{Labels: []Label{{"tile", strconv.Itoa(tw.Tile)}}, Value: float64(tw.Writes)})
+			}
+			return out
+		})
+	reg("_tile_bits_total", "counter", "Cells written (or pulsed) per tile.",
+		func(sec *probe.Section) []Sample {
+			out := make([]Sample, 0, len(sec.TileWrites))
+			for _, tw := range sec.TileWrites {
+				out = append(out, Sample{Labels: []Label{{"tile", strconv.Itoa(tw.Tile)}}, Value: float64(tw.Bits)})
+			}
+			return out
+		})
+}

@@ -1,0 +1,80 @@
+package probe
+
+import "math"
+
+// Merge folds src's counters into s. Both sides stay live: every field
+// is read with an atomic load and folded in with an atomic add (or CAS
+// min/max), so Merge is safe to call while emitters are still writing
+// to either Stats — the result is then a snapshot-consistent-per-field
+// aggregate, the same approximation contract Section documents.
+//
+// Merge is the aggregation primitive behind fleet-level telemetry:
+// per-worker, per-lane, or per-device Stats can be folded into one
+// live view (e.g. by merging every shard into a fresh Stats and taking
+// its Section) without the shards ever sharing a cache line on their
+// hot paths.
+func (s *Stats) Merge(src *Stats) {
+	if src == nil || src == s {
+		return
+	}
+	s.instructions.Add(src.instructions.Load())
+	s.replays.Add(src.replays.Load())
+	s.interrupts.Add(src.interrupts.Load())
+	s.outages.Add(src.outages.Load())
+	s.restores.Add(src.restores.Load())
+	s.faults.Add(src.faults.Load())
+
+	for k := 0; k < maxKinds; k++ {
+		if n := src.byKind[k].Load(); n > 0 {
+			s.byKind[k].Add(n)
+		}
+	}
+
+	s.computeEnergy.Add(src.computeEnergy.Load())
+	s.backupEnergy.Add(src.backupEnergy.Load())
+	s.restoreEnergy.Add(src.restoreEnergy.Load())
+	s.lostEnergy.Add(src.lostEnergy.Load())
+	s.replayEnergy.Add(src.replayEnergy.Load())
+	s.outageSecs.Add(src.outageSecs.Load())
+	s.busySecs.Add(src.busySecs.Load())
+	s.restoreSecs.Add(src.restoreSecs.Load())
+
+	for b := 0; b < histBuckets; b++ {
+		if n := src.outageHist[b].Load(); n > 0 {
+			s.outageHist[b].Add(n)
+		}
+	}
+
+	if n := src.voltSamples.Load(); n > 0 {
+		s.voltSamples.Add(n)
+		lo, hi := src.voltMin.Load(), src.voltMax.Load()
+		if s.voltInit.CompareAndSwap(false, true) {
+			// First voltage data seeds min/max, mirroring VoltageSample.
+			s.voltMin.bits.Store(math.Float64bits(lo))
+			s.voltMax.bits.Store(math.Float64bits(hi))
+		} else {
+			s.voltMin.Min(lo)
+			s.voltMax.Max(hi)
+		}
+	}
+
+	for t := 0; t < maxTrackedTiles; t++ {
+		if w := src.tileWrites[t].Load(); w > 0 {
+			s.tileWrites[t].Add(w)
+			s.tileBits[t].Add(src.tileBits[t].Load())
+		}
+	}
+}
+
+// OutageHistEdges returns the finite upper edges, in seconds, of the
+// log10 outage-duration histogram: the first bucket counts outages
+// shorter than edge 0, the last bucket counts outages at or above the
+// final edge. The values are computed with the same expression Section
+// uses for its Lo/HiSeconds fields, so they compare exactly equal.
+func OutageHistEdges() []float64 {
+	edges := make([]float64, histBuckets-1)
+	for b := 0; b < histBuckets-1; b++ {
+		edges[b] = histFloor * math.Pow(10, float64(b))
+	}
+	return edges
+}

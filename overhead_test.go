@@ -6,10 +6,13 @@
 package mouse_test
 
 import (
+	"io"
 	"os"
 	"testing"
+	"time"
 
 	"mouse/internal/controller"
+	"mouse/internal/metrics"
 	"mouse/internal/probe"
 	"mouse/internal/sim"
 )
@@ -61,5 +64,76 @@ func TestNopObserverOverhead(t *testing.T) {
 	t.Logf("nil %.0f ns/op, Nop %.0f ns/op (%.4fx), %d allocs/op", baseNs, nopNs, ratio, baseAllocs)
 	if ratio > 1.02 {
 		t.Errorf("no-op observer costs %.2f%% latency, budget is 2%%", (ratio-1)*100)
+	}
+}
+
+// TestMetricsBridgeOverhead extends the gate to the metrics registry:
+// bridging a probe.Stats into a registry that a background goroutine
+// scrapes every 10ms — hundreds of times faster than any real
+// Prometheus interval — must stay within 2% of feeding the bare Stats.
+// The bridge does all conversion at scrape time from Section snapshots,
+// so the simulation-side cost should be indistinguishable from Stats
+// alone. Same MOUSE_BENCH_SMOKE gate as above.
+func TestMetricsBridgeOverhead(t *testing.T) {
+	if os.Getenv("MOUSE_BENCH_SMOKE") == "" {
+		t.Skip("set MOUSE_BENCH_SMOKE=1 to run the metrics-overhead smoke benchmark")
+	}
+	mach, prog := setupSVMMachine(t, false)
+
+	measure := func(obs probe.Observer) float64 {
+		const rounds = 5
+		var bestNs float64
+		for i := 0; i < rounds; i++ {
+			r := testing.Benchmark(func(b *testing.B) {
+				for j := 0; j < b.N; j++ {
+					c := controller.New(controller.ProgramStore(prog), mach)
+					mr := sim.NewMachineRunner(c)
+					mr.Obs = obs
+					res, err := mr.Run(nil)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if !res.Completed {
+						b.Fatal("run did not complete")
+					}
+				}
+			})
+			if ns := float64(r.NsPerOp()); i == 0 || ns < bestNs {
+				bestNs = ns
+			}
+		}
+		return bestNs
+	}
+
+	bareNs := measure(&probe.Stats{})
+
+	stats := &probe.Stats{}
+	reg := metrics.New()
+	metrics.ExportStats(reg, "mouse_probe", stats.Section)
+	stop := make(chan struct{})
+	scraperDone := make(chan struct{})
+	go func() {
+		defer close(scraperDone)
+		tick := time.NewTicker(10 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				if err := reg.WriteText(io.Discard); err != nil {
+					panic(err)
+				}
+			}
+		}
+	}()
+	bridgedNs := measure(stats)
+	close(stop)
+	<-scraperDone
+
+	ratio := bridgedNs / bareNs
+	t.Logf("bare Stats %.0f ns/op, bridged+scraped %.0f ns/op (%.4fx)", bareNs, bridgedNs, ratio)
+	if ratio > 1.02 {
+		t.Errorf("metrics bridge costs %.2f%% latency under continuous scraping, budget is 2%%", (ratio-1)*100)
 	}
 }
