@@ -4,8 +4,8 @@
 // Usage:
 //
 //	mousebench [-experiment all|table1|table2|table3|table4|fig9|fig10|fig11|fig12|
-//	            crossover|robustness|checkpoint|parallelism|fft|batch|segment]
-//	           [-batch N] [-parallel N] [-json] [-telemetry] [-progress]
+//	            crossover|robustness|checkpoint|parallelism|fft|batch|segment|fleet]
+//	           [-batch N] [-fleet] [-parallel N] [-json] [-telemetry] [-progress]
 //	           [-out FILE] [-cpuprofile FILE] [-memprofile FILE]
 //
 // Each experiment prints the same rows or series the paper reports; see
@@ -33,6 +33,12 @@
 // path, reporting host ns/inference for both. Without the flag the
 // registry's batch experiment runs at the full 64 lanes.
 //
+// -fleet runs only the fleet serving experiment with its host-latency
+// percentiles included: every hot workload is served through an
+// internal/fleet inference fleet under continuous and harvested power,
+// reporting p50/p99/mean ms per request. The registry's fleet
+// experiment prints only the deterministic outcome counters.
+//
 // -cpuprofile and -memprofile write pprof profiles of the selected
 // experiments (CPU sampled across the run; heap captured at the end),
 // so perf PRs can attach `go tool pprof` evidence for the paths they
@@ -54,6 +60,7 @@ import (
 func main() {
 	experiment := flag.String("experiment", "all", "which experiment to run")
 	batchLanes := flag.Int("batch", 0, "run only the batch throughput experiment with this many bit-slice lanes (1-64)")
+	fleetOnly := flag.Bool("fleet", false, "run only the fleet serving experiment, latency percentiles included")
 	parallel := flag.Int("parallel", 0, "sweep worker bound; 0 means one per CPU")
 	asJSON := flag.Bool("json", false, "emit a machine-readable report instead of tables")
 	telemetry := flag.Bool("telemetry", false, "collect run telemetry (replays, outages, energy by phase)")
@@ -85,6 +92,8 @@ func main() {
 	var runErr error
 	if *batchLanes != 0 {
 		runErr = bench.RunBatch(out, *batchLanes, *parallel, *asJSON)
+	} else if *fleetOnly {
+		runErr = bench.RunFleet(out, *parallel, *asJSON)
 	} else {
 		runErr = runExperiments(*experiment, out, progressTo, *parallel, *asJSON, *telemetry)
 	}

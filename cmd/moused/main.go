@@ -1,13 +1,20 @@
-// moused is the repo's long-running observability endpoint: it executes
-// a configurable stream of mousebench experiments on simulated devices
-// and serves live telemetry about them over HTTP.
+// moused is the repo's long-running serving process: it executes a
+// configurable stream of mousebench experiments on simulated devices,
+// serves classification requests against a fleet of energy-harvesting
+// MOUSE devices, and exposes live telemetry about both over HTTP.
 //
 // Endpoints:
 //
 //	/metrics        Prometheus text exposition (version 0.0.4): the
-//	                merged fleet view of every device's probe telemetry
-//	                under mouse_probe_*, plus moused_* run/job metrics
-//	                and per-device voltage and instruction families
+//	                merged view of every probe shard — job-stream
+//	                devices and inference-fleet devices — under
+//	                mouse_probe_*, plus moused_* run/job metrics and
+//	                the fleet's queue/charge/latency families
+//	/v1/infer       POST a JSON sample batch, get predictions; requests
+//	                are coalesced into bit-sliced batches and placed on
+//	                the most-charged device (429 + Retry-After under
+//	                overload)
+//	/v1/workloads   served workloads and their batch geometry
 //	/healthz        liveness probe, always "ok" while serving
 //	/runs           recent experiment runs as indented JSON
 //	/debug/pprof/   standard Go profiling handlers
@@ -16,19 +23,25 @@
 //
 //	moused [-addr HOST:PORT] [-addr-file FILE] [-experiments CSV]
 //	       [-devices N] [-parallel N] [-repeat N] [-interval DUR]
+//	       [-fleet-devices N] [-fleet-power continuous|harvested]
+//	       [-fleet-queue N] [-fleet-linger DUR] [-fleet-harvest W]
 //
 // -addr defaults to 127.0.0.1:0 (an OS-assigned port); the bound
 // address is printed on stdout and, with -addr-file, written to a file
 // so scripts can discover it race-free. -experiments names the job
 // stream (mousebench registry names, default "table2,table3,checkpoint"
 // — the checkpoint sweep actually simulates, so the probe families are
-// live out of the box);
+// live out of the box); "all" composed with named experiments collapses
+// to "all", and repeats are deduped.
 // -devices spreads jobs round-robin over N independent telemetry
 // shards; -repeat bounds the passes over the stream (0 = run until
-// terminated) and -interval paces consecutive jobs. The server keeps
-// serving after a finite stream completes; SIGINT/SIGTERM shut it down.
+// terminated) and -interval paces consecutive jobs. The -fleet-* flags
+// size the inference fleet (see internal/fleet): device count, power
+// mode, admission-queue depth, batching deadline, and per-device
+// harvest rate. The server keeps serving after a finite stream
+// completes; SIGINT/SIGTERM shut it down.
 //
-// See EXPERIMENTS.md for a scrape walkthrough with curl.
+// See EXPERIMENTS.md for scrape and inference walkthroughs with curl.
 package main
 
 import (
@@ -45,6 +58,7 @@ import (
 	"time"
 
 	"mouse/internal/bench"
+	"mouse/internal/fleet"
 )
 
 func main() {
@@ -55,24 +69,43 @@ func main() {
 	parallel := flag.Int("parallel", 0, "sweep worker bound per job; 0 means one per CPU")
 	repeat := flag.Int("repeat", 1, "passes over the experiment stream (0 = repeat until terminated)")
 	interval := flag.Duration("interval", 0, "pause between consecutive jobs")
+	defFleet := fleet.DefaultConfig()
+	fleetDevices := flag.Int("fleet-devices", defFleet.Devices, "inference fleet device count")
+	fleetPower := flag.String("fleet-power", string(defFleet.Mode), "fleet power mode: continuous or harvested")
+	fleetQueue := flag.Int("fleet-queue", defFleet.QueueDepth, "per-workload admission queue depth")
+	fleetLinger := flag.Duration("fleet-linger", defFleet.BatchLinger, "batching deadline after the first request of a batch")
+	fleetHarvest := flag.Float64("fleet-harvest", defFleet.HarvestW, "per-device harvest rate in watts (harvested mode)")
 	flag.Parse()
+
+	fcfg := defFleet
+	fcfg.Devices = *fleetDevices
+	fcfg.Mode = fleet.PowerMode(*fleetPower)
+	fcfg.QueueDepth = *fleetQueue
+	fcfg.BatchLinger = *fleetLinger
+	fcfg.HarvestW = *fleetHarvest
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if err := serve(ctx, *addr, *addrFile, *experiments, *devices, *parallel, *repeat, *interval); err != nil {
+	if err := serve(ctx, *addr, *addrFile, *experiments, *devices, *parallel, *repeat, *interval, fcfg); err != nil {
 		fmt.Fprintln(os.Stderr, "moused:", err)
 		os.Exit(1)
 	}
 }
 
 // parseExperiments splits and validates the -experiments list against
-// the mousebench registry ("all" is accepted as the full suite).
+// the mousebench registry. "all" already runs the full suite, so "all"
+// composed with named experiments collapses to just "all" (otherwise
+// every pass would run those jobs twice), and exact repeats are deduped
+// — but only after every name validates, so a typo next to "all" still
+// errors.
 func parseExperiments(csv string) ([]string, error) {
 	known := map[string]bool{"all": true}
 	for _, e := range bench.Experiments() {
 		known[e.Name] = true
 	}
+	seen := map[string]bool{}
 	var names []string
+	all := false
 	for _, name := range strings.Split(csv, ",") {
 		name = strings.TrimSpace(name)
 		if name == "" {
@@ -81,17 +114,27 @@ func parseExperiments(csv string) ([]string, error) {
 		if !known[name] {
 			return nil, fmt.Errorf("unknown experiment %q", name)
 		}
+		if name == "all" {
+			all = true
+		}
+		if seen[name] {
+			continue
+		}
+		seen[name] = true
 		names = append(names, name)
 	}
 	if len(names) == 0 {
 		return nil, fmt.Errorf("empty experiment list")
 	}
+	if all {
+		return []string{"all"}, nil
+	}
 	return names, nil
 }
 
-// serve binds the listener, starts the job stream, and blocks until
-// ctx is cancelled (or the listener fails).
-func serve(ctx context.Context, addr, addrFile, experiments string, devices, parallel, repeat int, interval time.Duration) error {
+// serve binds the listener, builds the server (including its inference
+// fleet), and hands off to serveHTTP.
+func serve(ctx context.Context, addr, addrFile, experiments string, devices, parallel, repeat int, interval time.Duration, fcfg fleet.Config) error {
 	names, err := parseExperiments(experiments)
 	if err != nil {
 		return err
@@ -110,7 +153,24 @@ func serve(ctx context.Context, addr, addrFile, experiments string, devices, par
 		}
 	}
 
-	s := newServer(devices, parallel)
+	s, err := newServer(devices, parallel, fcfg)
+	if err != nil {
+		ln.Close()
+		return err
+	}
+	defer s.Close()
+	return serveHTTP(ctx, ln, s, names, repeat, interval)
+}
+
+// serveHTTP runs the job stream and serves ln until ctx is cancelled or
+// the listener fails. The stream context is cancelled as soon as Serve
+// returns — before waiting on the stream — so a real listener error
+// surfaces as moused's exit instead of an infinite -repeat 0 stream
+// holding the process open forever.
+func serveHTTP(ctx context.Context, ln net.Listener, s *server, names []string, repeat int, interval time.Duration) error {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
 	var wg sync.WaitGroup
 	wg.Add(1)
 	go func() {
@@ -125,7 +185,8 @@ func serve(ctx context.Context, addr, addrFile, experiments string, devices, par
 		defer cancel()
 		httpSrv.Shutdown(shutdownCtx)
 	}()
-	err = httpSrv.Serve(ln)
+	err := httpSrv.Serve(ln)
+	cancel()
 	wg.Wait()
 	if err == http.ErrServerClosed {
 		return nil

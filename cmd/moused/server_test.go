@@ -12,8 +12,32 @@ import (
 	"testing"
 	"time"
 
+	"mouse/internal/fleet"
 	"mouse/internal/metrics"
 )
+
+// testFleetConfig is a small continuous-power inference fleet: tests
+// that only exercise the job stream shouldn't pay for charge
+// simulation or lingering batchers.
+func testFleetConfig() fleet.Config {
+	cfg := fleet.DefaultConfig()
+	cfg.Devices = 2
+	cfg.Mode = fleet.Continuous
+	cfg.BatchLinger = 0
+	return cfg
+}
+
+// newTestServer builds a server on the test fleet config and ties its
+// shutdown to the test.
+func newTestServer(t *testing.T, devices, workers int) *server {
+	t.Helper()
+	s, err := newServer(devices, workers, testFleetConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	return s
+}
 
 // streamOnce runs the given experiment stream to completion on srv.
 func streamOnce(s *server, experiments ...string) {
@@ -43,7 +67,7 @@ func scrape(t *testing.T, ts *httptest.Server, path string) []byte {
 // /metrics must equal the corresponding field of the merged fleet
 // Section exactly, and the whole document must pass the linter.
 func TestMetricsMatchFleetSection(t *testing.T) {
-	s := newServer(2, 1)
+	s := newTestServer(t, 2, 1)
 	streamOnce(s, "checkpoint", "fft")
 
 	ts := httptest.NewServer(s.handler())
@@ -108,7 +132,7 @@ func TestMetricsMatchFleetSection(t *testing.T) {
 // the job stream (after the first job, via the test hook) and checks
 // the exposition is already valid and counting.
 func TestScrapeMidStream(t *testing.T) {
-	s := newServer(1, 1)
+	s := newTestServer(t, 1, 1)
 	ts := httptest.NewServer(s.handler())
 	defer ts.Close()
 
@@ -138,7 +162,7 @@ func TestScrapeMidStream(t *testing.T) {
 }
 
 func TestHealthzRunsAndPprof(t *testing.T) {
-	s := newServer(1, 1)
+	s := newTestServer(t, 1, 1)
 	streamOnce(s, "table2")
 	ts := httptest.NewServer(s.handler())
 	defer ts.Close()
@@ -165,7 +189,7 @@ func TestHealthzRunsAndPprof(t *testing.T) {
 }
 
 func TestRunsHistoryTracksFailures(t *testing.T) {
-	s := newServer(1, 1)
+	s := newTestServer(t, 1, 1)
 	s.runOne("not-an-experiment", 0, 0)
 	if s.failed.Value() != 1 || s.completed.Value() != 0 {
 		t.Fatalf("failed %g completed %g", s.failed.Value(), s.completed.Value())
@@ -200,7 +224,7 @@ func TestServeWritesAddrFileAndShutsDown(t *testing.T) {
 	defer cancel()
 	errCh := make(chan error, 1)
 	go func() {
-		errCh <- serve(ctx, "127.0.0.1:0", addrFile, "table2", 1, 1, 1, 0)
+		errCh <- serve(ctx, "127.0.0.1:0", addrFile, "table2", 1, 1, 1, 0, testFleetConfig())
 	}()
 
 	var addr string
@@ -239,7 +263,7 @@ func TestServeWritesAddrFileAndShutsDown(t *testing.T) {
 // TestRunStreamHonorsContext: a cancelled context stops the infinite
 // stream promptly.
 func TestRunStreamHonorsContext(t *testing.T) {
-	s := newServer(1, 1)
+	s := newTestServer(t, 1, 1)
 	ctx, cancel := context.WithCancel(context.Background())
 	testHookAfterExperiment = func(seq int) {
 		if seq == 2 {

@@ -1,0 +1,83 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"mouse/internal/fleet"
+)
+
+// fakeInfer scripts /v1/infer by sample content: a first feature of 429
+// or 500 triggers that status, anything else echoes zeros.
+func fakeInfer(w http.ResponseWriter, r *http.Request) {
+	var req inferRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	switch req.Samples[0][0] {
+	case 429:
+		w.Header().Set("Retry-After", "2")
+		http.Error(w, "full", http.StatusTooManyRequests)
+		return
+	case 500:
+		http.Error(w, "boom", http.StatusInternalServerError)
+		return
+	}
+	preds := make([]int, len(req.Samples))
+	json.NewEncoder(w).Encode(inferResponse{Workload: req.Workload, Predictions: preds})
+}
+
+func TestHTTPSenderMapsStatuses(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(fakeInfer))
+	defer ts.Close()
+	send := newHTTPSender(ts.Client(), ts.URL, "svm-adult")
+
+	preds, err := send([][]int{{1}, {2}})
+	if err != nil || len(preds) != 2 {
+		t.Fatalf("ok path: preds %v, err %v", preds, err)
+	}
+
+	_, err = send([][]int{{429}})
+	if !errors.Is(err, fleet.ErrOverloaded) {
+		t.Fatalf("429 mapped to %v, want ErrOverloaded", err)
+	}
+	var oe *fleet.OverloadedError
+	if !errors.As(err, &oe) || oe.RetryAfter != 2*time.Second {
+		t.Fatalf("429 lost the Retry-After hint: %v", err)
+	}
+
+	if _, err = send([][]int{{500}}); err == nil || errors.Is(err, fleet.ErrOverloaded) {
+		t.Fatalf("500 mapped to %v, want a plain error", err)
+	}
+	if !strings.Contains(err.Error(), "boom") {
+		t.Errorf("500 error dropped the server message: %v", err)
+	}
+}
+
+// TestRunAgainstFakeServer wires run() end to end against the scripted
+// handler (verification off — the fake returns zeros, not real labels).
+func TestRunAgainstFakeServer(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(fakeInfer))
+	defer ts.Close()
+	addr := strings.TrimPrefix(ts.URL, "http://")
+	rep, err := run(addr, "svm-adult", 4, 2, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests != 4 || rep.OK != 4 || rep.Rejected != 0 || rep.Errors != 0 {
+		t.Errorf("report: %+v, want 4 clean OKs", rep)
+	}
+	if rep.P99 < rep.P50 || rep.Mean <= 0 {
+		t.Errorf("latency aggregates inconsistent: %+v", rep)
+	}
+
+	if _, err := run(addr, "frobnicate", 1, 1, 0, false); err == nil {
+		t.Error("unknown workload accepted")
+	}
+}

@@ -116,6 +116,15 @@ func (r *Report) Normalize() {
 				rows[j].Speedup = 0
 			}
 		}
+		// And the fleet experiment's request latencies; its outcome and
+		// mismatch counters are the serving result.
+		if rows, ok := r.Experiments[i].Rows.([]FleetRow); ok {
+			for j := range rows {
+				rows[j].P50Ms = 0
+				rows[j].P99Ms = 0
+				rows[j].MeanMs = 0
+			}
+		}
 	}
 	// Telemetry floats accumulate in pool-scheduling order, so two runs
 	// of the same experiments at different parallelism can differ in the
@@ -268,6 +277,15 @@ func Experiments() []Experiment {
 			},
 			Rows: func(workers int, _ ...probe.Observer) (any, error) {
 				return ComputeSegment(workers)
+			},
+		},
+		{
+			Name: "fleet",
+			Print: func(w io.Writer, workers int, _ ...probe.Observer) error {
+				return PrintFleetChecked(w, workers)
+			},
+			Rows: func(workers int, _ ...probe.Observer) (any, error) {
+				return ComputeFleet(workers)
 			},
 		},
 	}

@@ -14,7 +14,7 @@ import (
 func TestExperimentRegistryIsComplete(t *testing.T) {
 	want := []string{"table1", "table2", "table3", "table4", "fig9", "fig10",
 		"fig11", "fig12", "fft", "robustness", "checkpoint", "parallelism", "crossover",
-		"batch", "segment"}
+		"batch", "segment", "fleet"}
 	exps := Experiments()
 	if len(exps) != len(want) {
 		t.Fatalf("%d experiments, want %d", len(exps), len(want))

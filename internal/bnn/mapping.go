@@ -36,7 +36,16 @@ type Mapping struct {
 	Gates int
 }
 
-// CompileMapping compiles the network for tiles with the given row
+// Features returns the input-vector length the mapping expects (one
+// row per binarized feature, or one row group per 8-bit feature) — the
+// serving layer validates requests against it before admission.
+func (m *Mapping) Features() int {
+	if len(m.InputWordRows) > 0 {
+		return len(m.InputWordRows)
+	}
+	return len(m.InputRows)
+}
+
 // count, processing batchCols inputs per pass. Binarized inputs occupy
 // one row per feature; 8-bit inputs (the FP-BNN first layer) occupy
 // eight rows per feature, and the first layer becomes a chain of signed

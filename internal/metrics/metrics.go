@@ -188,6 +188,23 @@ func LogBuckets(floor float64, n int) []float64 {
 	return bounds
 }
 
+// ExpBuckets returns n exponentially spaced bucket bounds: start,
+// start*factor, ..., start*factor^(n-1) — the general form of
+// LogBuckets for latency histograms that need a factor finer than 10.
+// start must be positive and factor greater than 1.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n < 1 {
+		panic(fmt.Sprintf("metrics: ExpBuckets(%g, %g, %d) invalid", start, factor, n))
+	}
+	bounds := make([]float64, n)
+	b := start
+	for i := range bounds {
+		bounds[i] = b
+		b *= factor
+	}
+	return bounds
+}
+
 // NewCounter registers and returns a counter.
 func (r *Registry) NewCounter(name, help string) *Counter {
 	c := &Counter{}

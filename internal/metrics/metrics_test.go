@@ -72,6 +72,39 @@ func TestLogBuckets(t *testing.T) {
 	}
 }
 
+func TestExpBuckets(t *testing.T) {
+	got := ExpBuckets(1e-4, 4, 10)
+	if len(got) != 10 || got[0] != 1e-4 || got[1] != 4e-4 {
+		t.Errorf("ExpBuckets(1e-4, 4, 10) = %v", got)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] <= got[i-1] {
+			t.Fatalf("bounds not increasing at %d: %v", i, got)
+		}
+	}
+	// ExpBuckets with factor 10 is LogBuckets.
+	exp, log := ExpBuckets(1e-6, 10, 9), LogBuckets(1e-6, 9)
+	for i := range log {
+		if math.Abs(exp[i]-log[i]) > log[i]*1e-12 {
+			t.Errorf("ExpBuckets/LogBuckets diverge at %d: %g vs %g", i, exp[i], log[i])
+		}
+	}
+	for name, fn := range map[string]func(){
+		"zero start":  func() { ExpBuckets(0, 2, 3) },
+		"flat factor": func() { ExpBuckets(1, 1, 3) },
+		"no buckets":  func() { ExpBuckets(1, 2, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
 func TestVecChildrenSortedAndEscaped(t *testing.T) {
 	r := New()
 	cv := r.NewCounterVec("test_by_kind_total", `kinds with "quotes" and \slashes`, "kind")

@@ -52,6 +52,10 @@ type ParallelMapping struct {
 // ClassColumn returns the column holding class c's reduced score.
 func (m *ParallelMapping) ClassColumn(c int) int { return c * m.K }
 
+// Features returns the input-vector length the mapping expects — the
+// serving layer validates requests against it before admission.
+func (m *ParallelMapping) Features() int { return len(m.InputRows) }
+
 // CompileParallelMapping compiles the quantized model in the SV-parallel
 // mapping for tiles with the given row count.
 func CompileParallelMapping(im *IntModel, rows, inputBits int) (*ParallelMapping, error) {

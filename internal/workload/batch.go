@@ -41,6 +41,11 @@ type HotBatch struct {
 	// workload's held-out split.
 	Samples func(n int) [][]int
 
+	// Features returns the input-vector length the mapping expects,
+	// training the underlying model on first call — request validation
+	// for serving layers, without handing out the mapping itself.
+	Features func() (int, error)
+
 	// NewBatched builds a bit-sliced batch classifier (one flat-program
 	// replay per call, alloc-free in steady state).
 	NewBatched func() (Classifier, error)
@@ -111,6 +116,13 @@ func hotSVM() HotBatch {
 				return nil
 			}
 			return cycleSamples(ds.Test, n)
+		},
+		Features: func() (int, error) {
+			_, mp, err := svmHotModel()
+			if err != nil {
+				return 0, err
+			}
+			return mp.Features(), nil
 		},
 		NewBatched: func() (Classifier, error) {
 			_, mp, err := svmHotModel()
@@ -197,6 +209,13 @@ func hotBNN() HotBatch {
 				return nil
 			}
 			return cycleSamples(ds.Test, n)
+		},
+		Features: func() (int, error) {
+			_, _, mp, err := bnnHotModel()
+			if err != nil {
+				return 0, err
+			}
+			return mp.Features(), nil
 		},
 		NewBatched: func() (Classifier, error) {
 			_, net, mp, err := bnnHotModel()
